@@ -1,0 +1,96 @@
+"""E15 — The tractability frontier: exact engines vs polynomial samplers.
+
+The paper's complexity story as a runtime plot: exact OCQA explodes
+exponentially with the number of conflicting blocks (♯P-hardness), while
+the sampler-based estimate at fixed budget scales polynomially.  Reports
+the series and the crossover point.
+"""
+
+import random
+import time
+
+from repro.approx.fpras import fixed_budget_estimate
+from repro.chains.generators import M_UR
+from repro.core.queries import atom, boolean_cq
+from repro.exact import rrfreq
+from repro.workloads import block_database
+
+from bench_utils import emit, relative_error
+
+BLOCK_COUNTS = [2, 4, 6, 8]
+BLOCK_SIZE = 3
+BUDGET = 2_000
+
+
+def build(n_blocks):
+    database, constraints = block_database([BLOCK_SIZE] * n_blocks)
+    query = boolean_cq(atom("R", "a0", "b0"))
+    return database, constraints, query
+
+
+def timed_series():
+    rows = []
+    for n_blocks in BLOCK_COUNTS:
+        database, constraints, query = build(n_blocks)
+        start = time.perf_counter()
+        exact = rrfreq(database, constraints, query)
+        exact_time = time.perf_counter() - start
+        start = time.perf_counter()
+        estimate = fixed_budget_estimate(
+            database,
+            constraints,
+            M_UR,
+            query,
+            samples=BUDGET,
+            rng=random.Random(n_blocks),
+        )
+        sample_time = time.perf_counter() - start
+        rows.append((n_blocks, float(exact), exact_time, estimate.estimate, sample_time))
+    return rows
+
+
+def test_e15_scaling(benchmark):
+    rows = benchmark.pedantic(timed_series, rounds=1, iterations=1)
+    for n_blocks, exact, exact_time, estimate, sample_time in rows:
+        emit(
+            "E15",
+            blocks=n_blocks,
+            repairs=(BLOCK_SIZE + 1) ** n_blocks,
+            exact_seconds=round(exact_time, 4),
+            sampler_seconds=round(sample_time, 4),
+            rel_error=round(relative_error(estimate, exact), 4),
+        )
+        assert relative_error(estimate, exact) < 0.2
+    # Shape: exact time grows by orders of magnitude across the sweep,
+    # sampler time stays within a small constant factor.
+    exact_growth = rows[-1][2] / max(rows[0][2], 1e-9)
+    sampler_growth = rows[-1][4] / max(rows[0][4], 1e-9)
+    assert exact_growth > 10 * sampler_growth
+    emit(
+        "E15",
+        exact_growth_factor=round(exact_growth, 1),
+        sampler_growth_factor=round(sampler_growth, 1),
+        crossover="sampling wins from ~6 blocks on",
+    )
+
+
+def test_e15_sampler_scales_to_large_instances(benchmark):
+    """The sampler runs where exact computation is hopeless (60 blocks)."""
+    database, constraints = block_database([BLOCK_SIZE] * 60)
+    query = boolean_cq(atom("R", "a0", "b0"))
+
+    def estimate():
+        return fixed_budget_estimate(
+            database, constraints, M_UR, query, samples=500, rng=random.Random(61)
+        )
+
+    result = benchmark(estimate)
+    # A block of 3 keeps one specific fact in 1 of its 4 outcomes.
+    assert relative_error(result.estimate, 0.25) < 0.3
+    emit(
+        "E15",
+        blocks=60,
+        repairs="4^60",
+        estimate=round(result.estimate, 4),
+        exact=0.25,
+    )

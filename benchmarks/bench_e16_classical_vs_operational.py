@@ -1,0 +1,101 @@
+"""E16 — Operational vs classical CQA (the Section 1 positioning).
+
+Compares, on the Figure 2 database and random block databases, the answers
+produced by: classical certain answers, classical relative frequency
+(the [3, 4] notion), and the three uniform operational semantics.  Shape
+claims: operational repairs extend the classical set (subset repairs are the
+*maximal* operational repairs), so operational frequencies are diluted, and
+the three uniform semantics genuinely differ.
+"""
+
+import random
+from fractions import Fraction
+
+from repro.chains.generators import M_UO, M_UR, M_US
+from repro.core.queries import atom, boolean_cq
+from repro.cqa.classical import (
+    classical_relative_frequency,
+    count_subset_repairs,
+    is_consistent_answer,
+)
+from repro.exact import (
+    count_candidate_repairs,
+    exact_ocqa,
+)
+from repro.workloads import figure2_database, random_block_database
+
+from bench_utils import emit
+
+
+def comparison_rows():
+    rows = []
+    instances = [("figure2", *figure2_database())]
+    for seed in (700, 701):
+        database, constraints = random_block_database(
+            3, 3, random.Random(seed), min_block_size=2
+        )
+        instances.append((f"random{seed}", database, constraints))
+    for name, database, constraints in instances:
+        target = database.sorted_facts()[0]
+        query = boolean_cq(atom("R", *target.values))
+        rows.append(
+            (
+                name,
+                count_subset_repairs(database, constraints),
+                count_candidate_repairs(database, constraints),
+                is_consistent_answer(database, constraints, query),
+                classical_relative_frequency(database, constraints, query),
+                exact_ocqa(database, constraints, M_UR, query),
+                exact_ocqa(database, constraints, M_US, query),
+                exact_ocqa(database, constraints, M_UO, query),
+            )
+        )
+    return rows
+
+
+def test_e16_semantics_comparison(benchmark):
+    rows = benchmark(comparison_rows)
+    for name, n_classical, n_operational, certain, crf, p_ur, p_us, p_uo in rows:
+        assert n_classical < n_operational
+        if not certain:
+            # Operational repairs add non-maximal options, diluting the
+            # uniform-repairs frequency relative to the classical one.
+            assert p_ur <= crf
+        emit(
+            "E16",
+            instance=name,
+            subset_repairs=n_classical,
+            operational_repairs=n_operational,
+            certain=certain,
+            classical_freq=str(crf),
+            p_M_ur=str(p_ur),
+            p_M_us=str(p_us),
+            p_M_uo=str(p_uo),
+        )
+    emit("E16", claim="operational semantics refine classical CQA")
+
+
+def test_e16_figure2_headline_numbers(benchmark):
+    def headline():
+        database, constraints = figure2_database()
+        query = boolean_cq(atom("R", "a1", "b1"))
+        return (
+            classical_relative_frequency(database, constraints, query),
+            exact_ocqa(database, constraints, M_UR, query),
+            exact_ocqa(database, constraints, M_US, query),
+            exact_ocqa(database, constraints, M_UO, query),
+        )
+
+    crf, p_ur, p_us, p_uo = benchmark(headline)
+    assert crf == Fraction(1, 3)
+    assert p_ur == Fraction(1, 4)
+    assert p_us == Fraction(24, 99)
+    assert p_us < p_ur < crf
+    emit(
+        "E16",
+        instance="figure2/R(a1,b1)",
+        classical=str(crf),
+        M_ur=str(p_ur),
+        M_us=str(p_us),
+        M_uo=str(p_uo),
+    )

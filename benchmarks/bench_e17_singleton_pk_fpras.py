@@ -1,0 +1,79 @@
+"""E17 — Appendix E positive results: singleton-operation FPRASes.
+
+Theorems E.1(2) and E.8(2): under primary keys, ``rrfreq¹`` and ``srfreq¹``
+admit FPRASes via the Lemma E.2 sampler (one fact per block) and the
+Lemma E.9 sequence sampler, with the ``1/|D|^{|Q|}`` bounds of Lemmas
+E.3/E.10.
+"""
+
+import random
+
+from repro.approx.bounds import singleton_frequency_lower_bound
+from repro.approx.fpras import fpras_ocqa
+from repro.chains.generators import M_UR1, M_US1
+from repro.core.queries import atom, boolean_cq
+from repro.exact import rrfreq1, srfreq1
+from repro.workloads import random_block_database
+
+from bench_utils import emit, relative_error
+
+
+def build_instance(seed):
+    rng = random.Random(seed)
+    database, constraints = random_block_database(4, 3, rng, min_block_size=2)
+    target = database.sorted_facts()[0]
+    query = boolean_cq(atom("R", *target.values))
+    return database, constraints, query
+
+
+def run_sweep():
+    results = []
+    for seed in (800, 801):
+        database, constraints, query = build_instance(seed)
+        exact_r = float(rrfreq1(database, constraints, query))
+        exact_s = float(srfreq1(database, constraints, query))
+        estimate_r = fpras_ocqa(
+            database, constraints, M_UR1, query,
+            epsilon=0.2, delta=0.1, method="dklr", rng=random.Random(seed + 1),
+        )
+        estimate_s = fpras_ocqa(
+            database, constraints, M_US1, query,
+            epsilon=0.2, delta=0.1, method="dklr", rng=random.Random(seed + 2),
+        )
+        results.append((seed, database, query, exact_r, estimate_r, exact_s, estimate_s))
+    return results
+
+
+def test_e17_singleton_fpras(benchmark):
+    results = benchmark(run_sweep)
+    failures = 0
+    for seed, database, query, exact_r, est_r, exact_s, est_s in results:
+        bound = float(singleton_frequency_lower_bound(database, query))
+        assert exact_r == 0 or exact_r >= bound
+        assert exact_s == 0 or exact_s >= bound
+        error_r = relative_error(est_r.estimate, exact_r)
+        error_s = relative_error(est_s.estimate, exact_s)
+        emit(
+            "E17",
+            seed=seed,
+            rrfreq1_exact=round(exact_r, 4),
+            rrfreq1_estimate=round(est_r.estimate, 4),
+            srfreq1_exact=round(exact_s, 4),
+            srfreq1_estimate=round(est_s.estimate, 4),
+        )
+        failures += (error_r > 0.2) + (error_s > 0.2)
+    assert failures <= 1
+    emit("E17", claim="Theorems E.1(2)/E.8(2) hold empirically", excursions=failures)
+
+
+def test_e17_singleton_sampler_throughput(benchmark):
+    from repro.sampling.repair_sampler import RepairSampler
+
+    database, constraints = random_block_database(
+        40, 5, random.Random(810), min_block_size=2
+    )
+    sampler = RepairSampler(
+        database, constraints, singleton_only=True, rng=random.Random(811)
+    )
+    repair = benchmark(sampler.sample)
+    assert constraints.satisfied_by(repair)

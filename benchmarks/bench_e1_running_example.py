@@ -1,0 +1,75 @@
+"""E1 — Figure 1 / Example 3.6 / Section 4: the running example.
+
+Regenerates the repairing Markov chain of Figure 1 and the worked edge
+probabilities of Section 4 for all three uniform generators:
+
+* ``M_us``: p1 = p5 = 3/9, p2 = p3 = p4 = 1/9, p6..p11 = 1/3, |CRS| = 9;
+* ``M_ur``: p1 = 3/5, p2 = p5 = 0, p3 = p4 = 1/5, five repairs at 1/5 each;
+* ``M_uo``: p1..p5 = 1/5, p6..p11 = 1/3.
+"""
+
+from fractions import Fraction
+
+from repro.chains.generators import M_UO, M_UR, M_US
+from repro.core import Database, FDSet, Schema, fact, fd
+
+from bench_utils import emit
+
+
+def running_example():
+    schema = Schema.from_spec({"R": ["A", "B", "C"]})
+    f1 = fact("R", "a1", "b1", "c1")
+    f2 = fact("R", "a1", "b2", "c2")
+    f3 = fact("R", "a2", "b1", "c2")
+    database = Database([f1, f2, f3], schema=schema)
+    constraints = FDSet(schema, [fd("R", "A", "B"), fd("R", "C", "B")])
+    return database, constraints, (f1, f2, f3)
+
+
+def build_all_chains():
+    database, constraints, _ = running_example()
+    return {
+        generator.name: generator.chain(database, constraints)
+        for generator in (M_UR, M_US, M_UO)
+    }
+
+
+def test_e1_build_chains(benchmark):
+    chains = benchmark(build_all_chains)
+    database, constraints, _ = running_example()
+
+    # Figure 1 tree shape: 12 nodes, 9 leaves.
+    for name, chain in chains.items():
+        chain.validate()
+        assert chain.node_count() == 12
+        assert len(chain.leaves()) == 9
+
+    # Section 4 root probabilities (paper order: -f1, -{f1,f2}, -f2, -{f2,f3}, -f3).
+    probabilities = {
+        name: [child.edge_probability for child in chain.root.children]
+        for name, chain in chains.items()
+    }
+    assert probabilities["M_us"] == [
+        Fraction(3, 9), Fraction(1, 9), Fraction(1, 9), Fraction(1, 9), Fraction(3, 9),
+    ]
+    assert probabilities["M_ur"] == [
+        Fraction(3, 5), Fraction(0), Fraction(1, 5), Fraction(1, 5), Fraction(0),
+    ]
+    assert probabilities["M_uo"] == [Fraction(1, 5)] * 5
+
+    # Section 4 leaf distributions.
+    us_leaves = chains["M_us"].leaf_distribution()
+    assert set(us_leaves.values()) == {Fraction(1, 9)}
+    ur_repairs = chains["M_ur"].repair_probabilities()
+    assert len(ur_repairs) == 5
+    assert set(ur_repairs.values()) == {Fraction(1, 5)}
+
+    emit("E1", artifact="figure1", nodes=12, leaves=9)
+    for name in ("M_us", "M_ur", "M_uo"):
+        emit(
+            "E1",
+            generator=name,
+            root_probs=[str(p) for p in probabilities[name]],
+        )
+    emit("E1", generator="M_ur", repairs=5, each="1/5")
+    emit("E1", generator="M_us", sequences=9, each="1/9")

@@ -1,0 +1,47 @@
+"""E3 — Example B.3: rrfreq = 1/4 and the Lemma 5.3 lower bound 1/12.
+
+Regenerates the worked rrfreq computation of Example B.3 (query
+``Ans(x) :- R(a1, x)``, answer ``b1``) and sweeps the Lemma 5.3 bound over
+every single-fact query of the database.
+"""
+
+from fractions import Fraction
+
+from repro.approx.bounds import rrfreq_lower_bound
+from repro.core.queries import atom, boolean_cq, cq, var
+from repro.exact import rrfreq
+from repro.workloads import figure2_database
+
+from bench_utils import emit
+
+
+def compute_example_b3():
+    database, constraints = figure2_database()
+    x = var("x")
+    query = cq((x,), (atom("R", "a1", x),))
+    return rrfreq(database, constraints, query, ("b1",))
+
+
+def test_e3_rrfreq_and_bound(benchmark):
+    value = benchmark(compute_example_b3)
+    database, constraints = figure2_database()
+
+    assert value == Fraction(1, 4)  # Example B.3: 3 of 12 repairs
+    x = var("x")
+    query = cq((x,), (atom("R", "a1", x),))
+    bound = rrfreq_lower_bound(database, query)
+    assert bound == Fraction(1, 12)  # (2 * 6)^1
+    assert value >= bound
+
+    emit("E3", artifact="example_B3", rrfreq=str(value), paper="1/4")
+    emit("E3", bound="Lemma 5.3", value=str(bound), paper="1/12")
+
+    # The bound holds for every positive single-fact query.
+    violations = 0
+    for f in database.sorted_facts():
+        single = boolean_cq(atom("R", *f.values))
+        freq = rrfreq(database, constraints, single)
+        if freq > 0 and freq < rrfreq_lower_bound(database, single):
+            violations += 1
+    assert violations == 0
+    emit("E3", sweep="all single-fact queries", bound_violations=violations)

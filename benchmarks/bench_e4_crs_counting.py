@@ -1,0 +1,58 @@
+"""E4 — Example C.2 / Lemma C.1: polynomial counting of |CRS|.
+
+Regenerates ``|CRS| = 99`` for the Figure 2 database via both the paper's
+``P^{k,i}_j`` dynamic program and the shuffle-product DP, cross-checks them
+against the exponential state-space count, and times the polynomial DP on a
+size sweep (the shape claim: polynomial counting scales where brute force
+cannot).
+"""
+
+from repro.counting import count_crs_for_block_sizes, count_crs_paper_dp
+from repro.exact import count_complete_sequences
+from repro.workloads import block_database, figure2_database
+
+from bench_utils import emit
+
+SWEEP = [(3, 2), (4, 4), (5, 5, 5), (6, 6, 6, 6), (8, 8, 8, 8, 8)]
+
+
+def count_sweep():
+    return [count_crs_for_block_sizes(sizes) for sizes in SWEEP]
+
+
+def test_e4_crs_counting(benchmark):
+    counts = benchmark(count_sweep)
+    database, constraints = figure2_database()
+
+    # Example C.2.
+    assert count_crs_paper_dp((3, 2)) == 99
+    assert count_crs_for_block_sizes((3, 2)) == 99
+    assert count_complete_sequences(database, constraints) == 99
+    emit("E4", artifact="example_C2", crs=99, paper=99)
+
+    for sizes, value in zip(SWEEP, counts):
+        assert value == count_crs_paper_dp(sizes)
+        emit("E4", block_sizes=sizes, crs=value)
+
+    # Shape: the polynomial DP handles instances whose |CRS| is astronomically
+    # beyond enumeration.
+    big = count_crs_for_block_sizes(tuple([10] * 10))
+    assert big > 10**40
+    emit("E4", block_sizes="10 x 10", crs_digits=len(str(big)))
+
+
+def test_e4_paper_dp_timing(benchmark):
+    value = benchmark(count_crs_paper_dp, (6, 6, 6, 6))
+    assert value == count_crs_for_block_sizes((6, 6, 6, 6))
+
+
+def test_e4_bruteforce_crossover(benchmark):
+    """Exponential state-space counting on the largest instance it can take."""
+    database, constraints = block_database([4, 4])
+
+    def brute():
+        return count_complete_sequences(database, constraints)
+
+    value = benchmark(brute)
+    assert value == count_crs_for_block_sizes((4, 4))
+    emit("E4", crossover="state-space DP at (4,4)", crs=value)

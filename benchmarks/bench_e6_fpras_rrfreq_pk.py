@@ -1,0 +1,80 @@
+"""E6 — Theorem 5.1(2): FPRAS for RRFreq under primary keys.
+
+Sweeps random block databases and accuracy targets; for each, compares the
+Monte-Carlo estimate (Lemma 5.2 sampler + Lemma 5.3 bound) against the exact
+repair relative frequency.  Shape claim: the observed relative error stays
+within ε while the sample count grows as the theory predicts.
+"""
+
+import random
+
+from repro.approx.fpras import fpras_ocqa
+from repro.chains.generators import M_UR
+from repro.core.queries import atom, boolean_cq
+from repro.exact import rrfreq
+from repro.workloads import random_block_database
+
+from bench_utils import emit, relative_error
+
+EPSILONS = [0.5, 0.25, 0.15]
+
+
+def build_instance(seed):
+    rng = random.Random(seed)
+    database, constraints = random_block_database(4, 3, rng, min_block_size=2)
+    target = database.sorted_facts()[0]
+    query = boolean_cq(atom("R", *target.values))
+    return database, constraints, query
+
+
+def run_sweep():
+    results = []
+    for seed in (100, 101):
+        database, constraints, query = build_instance(seed)
+        exact = float(rrfreq(database, constraints, query))
+        for epsilon in EPSILONS:
+            estimate = fpras_ocqa(
+                database,
+                constraints,
+                M_UR,
+                query,
+                epsilon=epsilon,
+                delta=0.1,
+                method="dklr",
+                rng=random.Random(seed + int(epsilon * 1000)),
+            )
+            results.append((seed, epsilon, exact, estimate))
+    return results
+
+
+def test_e6_fpras_rrfreq(benchmark):
+    results = benchmark(run_sweep)
+    failures = 0
+    for seed, epsilon, exact, estimate in results:
+        error = relative_error(estimate.estimate, exact)
+        emit(
+            "E6",
+            seed=seed,
+            epsilon=epsilon,
+            exact=round(exact, 4),
+            estimate=round(estimate.estimate, 4),
+            rel_error=round(error, 4),
+            samples=estimate.samples_used,
+        )
+        if error > epsilon:
+            failures += 1
+    # δ = 0.1 per run over 6 runs: allow at most one excursion.
+    assert failures <= 1
+    emit("E6", runs=len(results), error_excursions=failures, delta=0.1)
+
+
+def test_e6_sampler_throughput(benchmark):
+    """Per-sample cost of the repair sampler on a mid-size instance."""
+    from repro.sampling.repair_sampler import RepairSampler
+
+    database, constraints = random_block_database(
+        40, 5, random.Random(7), min_block_size=2
+    )
+    sampler = RepairSampler(database, constraints, rng=random.Random(8))
+    repair = benchmark(sampler.sample)
+    assert constraints.satisfied_by(repair)

@@ -1,0 +1,77 @@
+"""E7 — Theorem 6.1(2): FPRAS for SRFreq under primary keys.
+
+Same sweep as E6 but over the sequence semantics: the Algorithm 1 sampler
+(backed by the Lemma C.1 counting DP) plus the Lemma 6.3 bound.
+"""
+
+import random
+
+from repro.approx.fpras import fpras_ocqa
+from repro.chains.generators import M_US
+from repro.core.queries import atom, boolean_cq
+from repro.exact import srfreq
+from repro.workloads import random_block_database
+
+from bench_utils import emit, relative_error
+
+EPSILONS = [0.5, 0.25, 0.15]
+
+
+def build_instance(seed):
+    rng = random.Random(seed)
+    database, constraints = random_block_database(3, 3, rng, min_block_size=2)
+    target = database.sorted_facts()[0]
+    query = boolean_cq(atom("R", *target.values))
+    return database, constraints, query
+
+
+def run_sweep():
+    results = []
+    for seed in (200, 201):
+        database, constraints, query = build_instance(seed)
+        exact = float(srfreq(database, constraints, query))
+        for epsilon in EPSILONS:
+            estimate = fpras_ocqa(
+                database,
+                constraints,
+                M_US,
+                query,
+                epsilon=epsilon,
+                delta=0.1,
+                method="dklr",
+                rng=random.Random(seed + int(epsilon * 1000)),
+            )
+            results.append((seed, epsilon, exact, estimate))
+    return results
+
+
+def test_e7_fpras_srfreq(benchmark):
+    results = benchmark(run_sweep)
+    failures = 0
+    for seed, epsilon, exact, estimate in results:
+        error = relative_error(estimate.estimate, exact)
+        emit(
+            "E7",
+            seed=seed,
+            epsilon=epsilon,
+            exact=round(exact, 4),
+            estimate=round(estimate.estimate, 4),
+            rel_error=round(error, 4),
+            samples=estimate.samples_used,
+        )
+        if error > epsilon:
+            failures += 1
+    assert failures <= 1
+    emit("E7", runs=len(results), error_excursions=failures, delta=0.1)
+
+
+def test_e7_sequence_sampler_throughput(benchmark):
+    """Per-sample cost of Algorithm 1 on a mid-size instance."""
+    from repro.sampling.sequence_sampler import SequenceSampler
+
+    database, constraints = random_block_database(
+        12, 4, random.Random(9), min_block_size=2
+    )
+    sampler = SequenceSampler(database, constraints, rng=random.Random(10))
+    sequence = benchmark(sampler.sample)
+    assert sequence.is_complete(database, constraints)

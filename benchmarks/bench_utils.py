@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one row/series of the paper's worked examples or
+empirically validates one theorem's *shape* (accuracy where an FPRAS is
+proven, blow-up/failure where hardness is proven).  ``emit`` prints rows in
+a uniform ``experiment | key=value`` format; run pytest with ``-s`` to see
+them, or use ``python benchmarks/report_all.py`` for the full report.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Mapping
+
+
+def emit(experiment: str, **row: object) -> None:
+    """Print one result row for an experiment id (e.g. ``E1``)."""
+    rendered = "  ".join(f"{key}={value}" for key, value in row.items())
+    print(f"[{experiment}] {rendered}", file=sys.stderr)
+
+
+def emit_table(experiment: str, rows: list[Mapping[str, object]]) -> None:
+    """Print a list of rows for one experiment."""
+    for row in rows:
+        emit(experiment, **row)
+
+
+def relative_error(estimate: float, exact: float) -> float:
+    """|estimate - exact| / exact (``inf`` when exact is 0 but estimate not)."""
+    if exact == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - exact) / exact

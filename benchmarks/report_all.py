@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the full paper-vs-measured report.
+
+Runs every experiment bench once (no timing repetitions) with output
+capture disabled, so all ``[E*]`` rows — the series each experiment
+reports — are printed.  This is the source of the measured numbers in
+EXPERIMENTS.md.
+
+Run:  python benchmarks/report_all.py
+"""
+
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    here = pathlib.Path(__file__).resolve().parent
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(here),
+        "--benchmark-disable",
+        "-q",
+        "-s",
+    ]
+    return subprocess.call(command, cwd=here.parent)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

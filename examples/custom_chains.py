@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Custom repairing Markov chains: beyond the three uniform generators.
+
+The paper frames ``M_Σ`` as an arbitrary function from databases to chains
+and then studies three uniform instances.  This walkthrough builds custom
+generators with the library:
+
+1. the intro's *trust-weighted* chain (sources with different reliability);
+2. a user-defined local generator from scratch (prefer-pair deletions);
+3. the diagnostics layer comparing the induced repair distributions.
+
+Run:  python examples/custom_chains.py
+"""
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro import (
+    Database,
+    FDSet,
+    Schema,
+    TrustWeightedOperations,
+    compare_generators,
+    fact,
+    fd,
+    local_repair_distribution,
+    M_UO,
+    M_UR,
+    M_US,
+)
+from repro.analysis import repair_distribution_entropy
+from repro.chains.local import LocalChainGenerator
+from repro.core.operations import justified_operations
+
+
+def scenario():
+    """Three sources report a sensor reading; two of them disagree twice."""
+    schema = Schema.from_spec({"Reading": ["sensor", "value"]})
+    constraints = FDSet(schema, [fd("Reading", "sensor", "value")])
+    lab = fact("Reading", "s1", 17)          # trusted lab feed
+    field = fact("Reading", "s1", 19)        # flaky field feed
+    backup = fact("Reading", "s2", 3)        # uncontested
+    database = Database([lab, field, backup], schema=schema)
+    return database, constraints, lab, field
+
+
+def trust_weighted_demo() -> None:
+    print("=" * 72)
+    print("1. Trust-weighted repairing (the intro's idea, generalized)")
+    print("=" * 72)
+    database, constraints, lab, field = scenario()
+    generator = TrustWeightedOperations.with_trust(
+        {lab: Fraction(9, 10), field: Fraction(3, 10)}
+    )
+    distribution = local_repair_distribution(database, constraints, generator)
+    print("  repair distribution (lab trusted 0.9, field 0.3):")
+    for repair, probability in sorted(distribution.items(), key=lambda kv: str(kv[0])):
+        print(f"    {str(repair):<50} p = {probability} (= {float(probability):.3f})")
+    keep_lab = sum(
+        p for repair, p in distribution.items() if lab in repair
+    )
+    print(f"  P(lab reading survives) = {keep_lab} (= {float(keep_lab):.3f})")
+
+
+@dataclass(frozen=True)
+class PreferPairs(LocalChainGenerator):
+    """A custom local generator: resolve conflicts by deleting both sides.
+
+    Pair removals get weight 2, singles weight 1 — a cautious policy that
+    prefers dropping all contested information.
+    """
+
+    @property
+    def base_name(self) -> str:
+        return "M_pairs"
+
+    def operation_distribution(self, state, constraints):
+        operations = sorted(justified_operations(state, constraints))
+        weights = {op: Fraction(2 if op.is_pair else 1) for op in operations}
+        total = sum(weights.values())
+        return {op: weight / total for op, weight in weights.items()}
+
+
+def custom_generator_demo() -> None:
+    print()
+    print("=" * 72)
+    print("2. A custom local generator (pairs preferred)")
+    print("=" * 72)
+    database, constraints, lab, field = scenario()
+    generator = PreferPairs()
+    chain = generator.chain(database, constraints)
+    chain.validate()  # Definition 3.5 conditions hold
+    distribution = local_repair_distribution(database, constraints, generator)
+    print("  repair distribution under M_pairs:")
+    for repair, probability in sorted(distribution.items(), key=lambda kv: str(kv[0])):
+        print(f"    {str(repair):<50} p = {probability}")
+    empty_mass = sum(
+        p for repair, p in distribution.items() if lab not in repair and field not in repair
+    )
+    print(f"  P(sensor s1 loses both readings) = {empty_mass}")
+
+
+def comparison_demo() -> None:
+    print()
+    print("=" * 72)
+    print("3. Comparing generators with the diagnostics layer")
+    print("=" * 72)
+    database, constraints, lab, field = scenario()
+    generators = (
+        M_UR,
+        M_US,
+        M_UO,
+        TrustWeightedOperations.with_trust({lab: Fraction(9, 10), field: Fraction(3, 10)}),
+        PreferPairs(),
+    )
+    summary = compare_generators(database, constraints, generators)
+    size_header = "E[size]"
+    print(f"  {'generator':<10} {'repairs':>8} {size_header:>10} {'entropy':>9}")
+    for name, row in summary.items():
+        print(
+            f"  {name:<10} {row['repairs']:>8} "
+            f"{float(row['expected_size']):>10.3f} {row['entropy_bits']:>9.3f}"
+        )
+    print("  (the trust chain concentrates mass -> lower entropy than M_ur)")
+
+
+if __name__ == "__main__":
+    trust_weighted_demo()
+    custom_generator_demo()
+    comparison_demo()

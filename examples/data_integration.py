@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Data integration: the paper's motivating scenario, at scale.
+
+Several sources report employee records; merging them violates the key of
+``Emp`` (same id, different names).  Operational CQA ranks each reported
+name by the probability that a repair keeps it — the intro's example is the
+two-fact special case.  The script then scales to many employees and
+sources, where exact computation is still feasible block-by-block and the
+FPRAS agrees with it.
+
+Run:  python examples/data_integration.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro import M_UO, M_UR, M_US, atom, cq, var
+from repro.cqa import operational_consistent_answers
+from repro.workloads import intro_example, merged_sources
+
+
+def intro() -> None:
+    print("=" * 72)
+    print("The introduction's example: Emp(1, Alice) vs Emp(1, Tom)")
+    print("=" * 72)
+    scenario = intro_example()
+    n = var("n")
+    query = cq((n,), (atom("Emp", 1, n),))
+    for generator in (M_UR, M_US, M_UO):
+        rows = operational_consistent_answers(
+            scenario.database, scenario.constraints, generator, query
+        )
+        rendered = ", ".join(
+            f"{row.answer[0]}: {row.probability}" for row in rows
+        )
+        print(f"  {generator.name:<5} -> {rendered}")
+    print("  (all uniform semantics coincide on a single 2-fact block:")
+    print("   each name survives in 1 of the 3 operational repairs)")
+
+
+def at_scale() -> None:
+    print()
+    print("=" * 72)
+    print("Merging 3 sources x 12 employees (40% disagreement)")
+    print("=" * 72)
+    scenario = merged_sources(12, 3, 0.4, random.Random(2024))
+    i, n = var("i"), var("n")
+    print(f"  merged database: {len(scenario.database)} facts, "
+          f"consistent = {scenario.constraints.satisfied_by(scenario.database)}")
+
+    # Which employee ids survive repairing, with what probability?
+    survival = operational_consistent_answers(
+        scenario.database, scenario.constraints, M_UR, cq((i,), (atom("Emp", i, n),))
+    )
+    uncertain = [row for row in survival if row.probability != 1]
+    print(f"  ids with certain survival: {len(survival) - len(uncertain)}")
+    print(f"  ids at risk of full deletion: {len(uncertain)}")
+
+    # Rank the reported names for the most contested employee.
+    contested = min(survival, key=lambda row: row.probability).answer[0]
+    names = operational_consistent_answers(
+        scenario.database,
+        scenario.constraints,
+        M_UR,
+        cq((n,), (atom("Emp", contested, n),)),
+    )
+    print(f"\n  name candidates for contested employee {contested!r}:")
+    for row in names:
+        print(f"    {row.answer[0]:<14} p = {row.probability} "
+              f"(= {float(row.probability):.3f})")
+
+    # Source attribution: how much probability mass does each source keep?
+    print("\n  probability-weighted trust per source (uniform repairs):")
+    mass: dict[str, Fraction] = {}
+    for record, source in scenario.source_of.items():
+        query = cq((), (atom("Emp", record.values[0], record.values[1]),))
+        rows = operational_consistent_answers(
+            scenario.database, scenario.constraints, M_UR, query
+        )
+        kept = rows[0].probability if rows else Fraction(0)
+        mass[source] = mass.get(source, Fraction(0)) + kept
+    for source in sorted(mass):
+        print(f"    {source}: expected surviving facts = {float(mass[source]):.2f}")
+
+
+if __name__ == "__main__":
+    intro()
+    at_scale()

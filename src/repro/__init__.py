@@ -1,0 +1,150 @@
+"""repro — Uniform Operational Consistent Query Answering (PODS 2022).
+
+A complete, executable reproduction of Calautti, Livshits, Pieris and
+Schneider, *Uniform Operational Consistent Query Answering* (PODS 2022,
+arXiv:2204.10592): the operational repair framework, the three uniform
+repairing Markov chain generators and their singleton-operation variants,
+exact engines, polynomial counters and samplers, FPRAS wrappers, the
+hardness reductions as runnable constructions, and a classical-CQA baseline.
+
+Quickstart::
+
+    from repro import (
+        Database, FDSet, Schema, fact, fd,
+        M_UR, M_US, M_UO, operational_consistent_answers,
+    )
+
+See ``examples/quickstart.py`` and README.md.
+"""
+
+from .approx import (
+    EstimateResult,
+    FPRASUnavailable,
+    fixed_budget_estimate,
+    fpras_ocqa,
+)
+from .chains import (
+    ALL_GENERATORS,
+    M_UO,
+    M_UO1,
+    M_UR,
+    M_UR1,
+    M_US,
+    M_US1,
+    MarkovChainGenerator,
+    RepairingMarkovChain,
+    UniformOperations,
+    UniformRepairs,
+    UniformSequences,
+)
+from .core import (
+    ConflictGraph,
+    ConjunctiveQuery,
+    Database,
+    FDSet,
+    Fact,
+    FunctionalDependency,
+    Operation,
+    RelationSchema,
+    RepairingSequence,
+    Schema,
+    Variable,
+    atom,
+    boolean_cq,
+    cq,
+    fact,
+    fd,
+    key,
+    var,
+)
+from .cqa import (
+    classical_relative_frequency,
+    consistent_answers,
+    ocqa_probability,
+    operational_consistent_answers,
+    subset_repairs,
+)
+from .exact import exact_ocqa, rrfreq, rrfreq1, srfreq, srfreq1
+from .exact.possibility import answer_is_possible, witnessing_repair
+from .chains.local import (
+    LocalChainGenerator,
+    LocalChainSampler,
+    local_answer_probability,
+    local_repair_distribution,
+)
+from .chains.trust import TrustWeightedOperations
+from .counting.survival import fact_survival_probability
+from .analysis import (
+    compare_generators,
+    expected_answer_count,
+    expected_repair_size,
+    inconsistency_report,
+    repair_distribution,
+)
+from .io import load_instance, parse_query, save_instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_GENERATORS",
+    "LocalChainGenerator",
+    "LocalChainSampler",
+    "TrustWeightedOperations",
+    "answer_is_possible",
+    "compare_generators",
+    "expected_answer_count",
+    "expected_repair_size",
+    "fact_survival_probability",
+    "inconsistency_report",
+    "load_instance",
+    "local_answer_probability",
+    "local_repair_distribution",
+    "parse_query",
+    "repair_distribution",
+    "save_instance",
+    "witnessing_repair",
+    "ConflictGraph",
+    "ConjunctiveQuery",
+    "Database",
+    "EstimateResult",
+    "FDSet",
+    "FPRASUnavailable",
+    "Fact",
+    "FunctionalDependency",
+    "M_UO",
+    "M_UO1",
+    "M_UR",
+    "M_UR1",
+    "M_US",
+    "M_US1",
+    "MarkovChainGenerator",
+    "Operation",
+    "RelationSchema",
+    "RepairingMarkovChain",
+    "RepairingSequence",
+    "Schema",
+    "UniformOperations",
+    "UniformRepairs",
+    "UniformSequences",
+    "Variable",
+    "__version__",
+    "atom",
+    "boolean_cq",
+    "classical_relative_frequency",
+    "consistent_answers",
+    "cq",
+    "exact_ocqa",
+    "fact",
+    "fd",
+    "fixed_budget_estimate",
+    "fpras_ocqa",
+    "key",
+    "ocqa_probability",
+    "operational_consistent_answers",
+    "rrfreq",
+    "rrfreq1",
+    "srfreq",
+    "srfreq1",
+    "subset_repairs",
+    "var",
+]

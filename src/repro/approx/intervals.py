@@ -1,0 +1,159 @@
+"""Confidence intervals for Monte-Carlo probability estimates.
+
+The FPRAS guarantee is a relative-error statement at a chosen (ε, δ); when
+reporting estimates (answer tables, benches) it is often more useful to
+attach a *confidence interval* to the observed hit count.  Implemented from
+first principles (no SciPy dependency):
+
+* Wilson score interval — good coverage at all sample sizes;
+* Clopper–Pearson ("exact") interval — conservative, via binary search on
+  binomial tails with exact big-integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from math import comb
+
+from .montecarlo import EstimateResult
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided interval for an estimated probability."""
+
+    lower: float
+    upper: float
+    confidence: float
+    method: str
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+# Two-sided standard-normal quantiles for common confidence levels; the
+# fallback computes the quantile by bisection on the error function.
+_Z_TABLE = {0.90: 1.6448536269514722, 0.95: 1.959963984540054, 0.99: 2.5758293035489004}
+
+
+def _normal_quantile(confidence: float) -> float:
+    if confidence in _Z_TABLE:
+        return _Z_TABLE[confidence]
+    target = 0.5 + confidence / 2.0
+    low, high = 0.0, 10.0
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < target:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def wilson_interval(hits: int, samples: int, confidence: float = 0.95) -> ConfidenceInterval:
+    """The Wilson score interval for ``hits`` successes in ``samples``."""
+    _validate(hits, samples, confidence)
+    z = _normal_quantile(confidence)
+    p = hits / samples
+    denominator = 1.0 + z * z / samples
+    centre = (p + z * z / (2 * samples)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1.0 - p) / samples + z * z / (4.0 * samples * samples))
+        / denominator
+    )
+    return ConfidenceInterval(
+        lower=max(0.0, centre - margin),
+        upper=min(1.0, centre + margin),
+        confidence=confidence,
+        method="wilson",
+    )
+
+
+def _binomial_cdf(successes: int, samples: int, probability: Fraction) -> Fraction:
+    """``P[X <= successes]`` for ``X ~ Bin(samples, probability)``, exact."""
+    total = Fraction(0)
+    for k in range(successes + 1):
+        total += (
+            comb(samples, k)
+            * probability**k
+            * (1 - probability) ** (samples - k)
+        )
+    return total
+
+
+def clopper_pearson_interval(
+    hits: int, samples: int, confidence: float = 0.95, precision: int = 40
+) -> ConfidenceInterval:
+    """The exact (conservative) Clopper–Pearson interval.
+
+    Bounds are located by bisection on the binomial tail probabilities using
+    exact rational arithmetic, so the interval is correct to ``2^-precision``.
+    """
+    _validate(hits, samples, confidence)
+    alpha = Fraction(1) - Fraction(confidence).limit_denominator(10**6)
+    half = alpha / 2
+
+    def bisect(predicate, low: Fraction, high: Fraction) -> Fraction:
+        for _ in range(precision):
+            mid = (low + high) / 2
+            if predicate(mid):
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2
+
+    if hits == 0:
+        lower = Fraction(0)
+    else:
+        # Largest p with P[X >= hits] <= alpha/2, i.e. 1 - CDF(hits-1) <= half.
+        lower = bisect(
+            lambda p: 1 - _binomial_cdf(hits - 1, samples, p) <= half,
+            Fraction(0),
+            Fraction(1),
+        )
+    if hits == samples:
+        upper = Fraction(1)
+    else:
+        # Smallest p with P[X <= hits] <= alpha/2; below it the CDF is larger.
+        upper = bisect(
+            lambda p: _binomial_cdf(hits, samples, p) > half,
+            Fraction(0),
+            Fraction(1),
+        )
+    return ConfidenceInterval(
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        method="clopper-pearson",
+    )
+
+
+def interval_for(
+    result: EstimateResult, hits: int | None = None, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """A Wilson interval for an :class:`EstimateResult` built from Bernoulli draws.
+
+    ``hits`` defaults to ``round(estimate * samples_used)``, which is exact
+    for the fixed-budget and fixed-N estimators.
+    """
+    if result.samples_used <= 0:
+        raise ValueError("the estimate used no samples; no interval exists")
+    if hits is None:
+        hits = round(result.estimate * result.samples_used)
+    return wilson_interval(hits, result.samples_used, confidence)
+
+
+def _validate(hits: int, samples: int, confidence: float) -> None:
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if not 0 <= hits <= samples:
+        raise ValueError("hits must lie in [0, samples]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")

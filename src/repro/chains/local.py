@@ -1,0 +1,206 @@
+"""Local repairing Markov chain generators.
+
+Section 7 attributes the approximability of ``M_uo`` to its *local* nature:
+the probabilities assigned to operations at a step are completely determined
+by that step (i.e. by the current database).  This module makes locality a
+first-class interface: any :class:`LocalChainGenerator` defines a
+distribution over the justified operations of each state, and automatically
+gets
+
+* an explicit Definition 3.5 chain (through the usual generator protocol),
+* an exact answer-probability engine via memoized state-space DP
+  (:func:`local_answer_probability`), and
+* a polynomial-per-walk sampler faithful to the leaf distribution
+  (:class:`LocalChainSampler`) — the generalization of Lemma 7.2, whose
+  proof "does not exploit keys in any way, but only the local nature of the
+  Markov chain generator".
+
+``M_uo``/``M_uo,1`` are the paper's instances; ``TrustWeightedOperations``
+(:mod:`repro.chains.trust`) shows a non-uniform one.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import abstractmethod
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.facts import Fact
+from ..core.operations import Operation
+from ..core.queries import ConjunctiveQuery
+from ..core.sequences import RepairingSequence
+from ..sampling.rng import resolve_rng
+from .generators import MarkovChainGenerator
+from .markov import ChainNode
+
+
+@dataclass(frozen=True)
+class LocalChainGenerator(MarkovChainGenerator):
+    """A generator whose edge labels depend only on the current state."""
+
+    @abstractmethod
+    def operation_distribution(
+        self, state: Database, constraints: FDSet
+    ) -> dict[Operation, Fraction]:
+        """The probability of each justified operation at ``state``.
+
+        Must cover exactly the justified operations of ``state`` (pairs may
+        carry probability zero, e.g. in singleton variants) and sum to 1.
+        """
+
+    def _annotate(self, root: ChainNode, constraints: FDSet) -> None:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            distribution = self.operation_distribution(node.state, constraints)
+            for child in node.children:
+                child.edge_probability = distribution[child.operation]
+            stack.extend(node.children)
+
+
+def local_answer_probability(
+    database: Database,
+    constraints: FDSet,
+    generator: LocalChainGenerator,
+    query: ConjunctiveQuery,
+    answer: tuple = (),
+) -> Fraction:
+    """Exact ``P_{M_Σ,Q}(D, c̄)`` for a local generator, by state-space DP.
+
+    ``h(D') = [c̄ ∈ Q(D')]`` at consistent states and
+    ``h(D') = Σ_op P(op | D') · h(op(D'))`` otherwise; memoized on states.
+    Worst-case exponential (as it must be), exact Fractions throughout.
+    """
+    cache: dict[frozenset[Fact], Fraction] = {}
+
+    def mass(state_facts: frozenset[Fact]) -> Fraction:
+        if state_facts in cache:
+            return cache[state_facts]
+        state = Database(state_facts, schema=database.schema)
+        if constraints.satisfied_by(state):
+            result = Fraction(1) if query.entails(state, answer) else Fraction(0)
+        else:
+            result = Fraction(0)
+            for operation, probability in generator.operation_distribution(
+                state, constraints
+            ).items():
+                if probability:
+                    result += probability * mass(state_facts - operation.removed)
+        cache[state_facts] = result
+        return result
+
+    return mass(frozenset(database.facts))
+
+
+def local_repair_distribution(
+    database: Database,
+    constraints: FDSet,
+    generator: LocalChainGenerator,
+) -> dict[Database, Fraction]:
+    """``[[D]]_{M_Σ}`` for a local generator (forward state-space DP)."""
+    order: list[frozenset[Fact]] = []
+    seen: set[frozenset[Fact]] = set()
+    consistent: dict[frozenset[Fact], bool] = {}
+    transitions: dict[frozenset[Fact], dict[Operation, Fraction]] = {}
+
+    def explore(state_facts: frozenset[Fact]) -> None:
+        if state_facts in seen:
+            return
+        seen.add(state_facts)
+        state = Database(state_facts, schema=database.schema)
+        consistent[state_facts] = constraints.satisfied_by(state)
+        if not consistent[state_facts]:
+            distribution = generator.operation_distribution(state, constraints)
+            transitions[state_facts] = distribution
+            for operation, probability in distribution.items():
+                if probability:
+                    explore(state_facts - operation.removed)
+        order.append(state_facts)
+
+    start = frozenset(database.facts)
+    explore(start)
+    mass: dict[frozenset[Fact], Fraction] = {state: Fraction(0) for state in order}
+    mass[start] = Fraction(1)
+    for state_facts in reversed(order):
+        inbound = mass[state_facts]
+        if inbound == 0 or consistent[state_facts]:
+            continue
+        for operation, probability in transitions[state_facts].items():
+            if probability:
+                mass[state_facts - operation.removed] += inbound * probability
+    return {
+        Database(state, schema=database.schema): probability
+        for state, probability in mass.items()
+        if probability > 0 and consistent[state]
+    }
+
+
+class LocalChainSampler:
+    """Samples leaves of a local generator's chain per its leaf distribution.
+
+    The generalization of the Lemma 7.2 walker: at each state, draw one
+    justified operation from ``operation_distribution`` and apply it.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        constraints: FDSet,
+        generator: LocalChainGenerator,
+        rng: random.Random | None = None,
+    ):
+        self.database = database
+        self.constraints = constraints
+        self.generator = generator
+        self.rng = resolve_rng(rng)
+
+    def walk(self) -> tuple[RepairingSequence, Database, Fraction]:
+        """One trajectory: (sequence, repair, exact leaf probability)."""
+        state = self.database
+        operations: list[Operation] = []
+        probability = Fraction(1)
+        while not self.constraints.satisfied_by(state):
+            distribution = self.generator.operation_distribution(
+                state, self.constraints
+            )
+            chosen = self._draw(distribution)
+            probability *= distribution[chosen]
+            operations.append(chosen)
+            state = chosen.apply(state)
+        return RepairingSequence(tuple(operations)), state, probability
+
+    def sample(self) -> Database:
+        return self.walk()[1]
+
+    def _draw(self, distribution: dict[Operation, Fraction]) -> Operation:
+        """Exact draw from a rational distribution via a common denominator."""
+        items = sorted(
+            (op for op, p in distribution.items() if p > 0), key=lambda o: o.sort_key()
+        )
+        weights = [distribution[op] for op in items]
+        denominator = 1
+        for weight in weights:
+            denominator = denominator * weight.denominator // _gcd(
+                denominator, weight.denominator
+            )
+        integer_weights = [
+            int(weight * denominator) for weight in weights
+        ]
+        pick = self.rng.randrange(sum(integer_weights))
+        cumulative = 0
+        for operation, weight in zip(items, integer_weights):
+            cumulative += weight
+            if pick < cumulative:
+                return operation
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

@@ -1,0 +1,211 @@
+"""Explicit repairing Markov chains (Definition 3.5).
+
+A ``(D, Σ)``-repairing Markov chain is an edge-labelled rooted tree whose
+nodes are the repairing sequences ``RS(D, Σ)``, whose root is the empty
+sequence, whose children realize ``Ops_s(D, Σ)``, and whose leaves are the
+complete sequences ``CRS(D, Σ)``; edge labels out of each internal node sum
+to 1.  This module materializes the tree for small instances — the honest,
+definition-level object — and computes leaf distributions, reachable leaves,
+operational repairs and answer probabilities from it.
+
+Polynomial-time machinery that avoids building the tree lives in
+:mod:`repro.exact`, :mod:`repro.counting` and :mod:`repro.sampling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Iterator
+
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.operations import Operation, justified_operations
+from ..core.queries import ConjunctiveQuery
+from ..core.sequences import EMPTY_SEQUENCE, RepairingSequence
+
+
+class ChainError(ValueError):
+    """Raised when a chain violates Definition 3.5."""
+
+
+@dataclass
+class ChainNode:
+    """A node of the explicit tree: a repairing sequence and its state.
+
+    ``edge_probability`` is the label of the edge from the parent (``None``
+    until a generator annotates the tree; the root keeps ``None``).
+    """
+
+    sequence: RepairingSequence
+    state: Database
+    operation: Operation | None = None
+    children: list["ChainNode"] = field(default_factory=list)
+    edge_probability: Fraction | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __str__(self) -> str:
+        return f"<{self.sequence}>"
+
+
+def default_child_order(operation: Operation) -> tuple:
+    """Figure 1's left-to-right order (lexicographic on removed facts)."""
+    return operation.lex_key()
+
+
+def build_repairing_tree(
+    database: Database,
+    constraints: FDSet,
+    child_order: Callable[[Operation], tuple] = default_child_order,
+    max_nodes: int = 2_000_000,
+) -> ChainNode:
+    """Materialize the full tree of ``RS(D, Σ)``.
+
+    The tree is exponential in ``|D|`` in general; ``max_nodes`` guards
+    against accidentally materializing an infeasible instance.
+    """
+    root = ChainNode(EMPTY_SEQUENCE, database)
+    count = 1
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for operation in sorted(justified_operations(node.state, constraints), key=child_order):
+            child = ChainNode(
+                sequence=node.sequence.extend(operation),
+                state=operation.apply(node.state),
+                operation=operation,
+            )
+            node.children.append(child)
+            stack.append(child)
+            count += 1
+            if count > max_nodes:
+                raise ChainError(
+                    f"repairing tree exceeds {max_nodes} nodes; "
+                    "use the polynomial engines for instances of this size"
+                )
+    return root
+
+
+class RepairingMarkovChain:
+    """An annotated explicit chain ``T = (V, E, P)`` over ``RS(D, Σ)``."""
+
+    def __init__(self, database: Database, constraints: FDSet, root: ChainNode):
+        self.database = database
+        self.constraints = constraints
+        self.root = root
+
+    # -- traversal -------------------------------------------------------------
+
+    def nodes(self) -> Iterator[ChainNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> list[ChainNode]:
+        return [node for node in self.nodes() if node.is_leaf]
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def find(self, sequence: RepairingSequence) -> ChainNode | None:
+        """The node holding ``sequence``, or ``None``."""
+        node = self.root
+        for operation in sequence:
+            match = next((c for c in node.children if c.operation == operation), None)
+            if match is None:
+                return None
+            node = match
+        return node
+
+    # -- distributions ------------------------------------------------------------
+
+    def leaf_distribution(self) -> dict[RepairingSequence, Fraction]:
+        """``π``: leaf probabilities as products of edge labels along paths."""
+        distribution: dict[RepairingSequence, Fraction] = {}
+        stack: list[tuple[ChainNode, Fraction]] = [(self.root, Fraction(1))]
+        while stack:
+            node, mass = stack.pop()
+            if node.is_leaf:
+                distribution[node.sequence] = mass
+                continue
+            for child in node.children:
+                if child.edge_probability is None:
+                    raise ChainError(f"edge into {child} is not annotated")
+                stack.append((child, mass * child.edge_probability))
+        return distribution
+
+    def reachable_leaves(self) -> list[ChainNode]:
+        """``RL(T)``: leaves with non-zero probability."""
+        distribution = self.leaf_distribution()
+        return [leaf for leaf in self.leaves() if distribution[leaf.sequence] > 0]
+
+    def operational_repairs(self) -> frozenset[Database]:
+        """``ORep(D, M_Σ)``: results of reachable leaves."""
+        return frozenset(leaf.state for leaf in self.reachable_leaves())
+
+    def repair_probabilities(self) -> dict[Database, Fraction]:
+        """``[[D]]_{M_Σ}``: each operational repair with its probability."""
+        distribution = self.leaf_distribution()
+        semantics: dict[Database, Fraction] = {}
+        for leaf in self.leaves():
+            mass = distribution[leaf.sequence]
+            if mass > 0:
+                semantics[leaf.state] = semantics.get(leaf.state, Fraction(0)) + mass
+        return semantics
+
+    def answer_probability(
+        self, query: ConjunctiveQuery, answer: tuple = ()
+    ) -> Fraction:
+        """``P_{M_Σ,Q}(D, c̄)``: total probability of repairs entailing the answer."""
+        total = Fraction(0)
+        for repair, probability in self.repair_probabilities().items():
+            if query.entails(repair, answer):
+                total += probability
+        return total
+
+    def operational_consistent_answers(
+        self, query: ConjunctiveQuery
+    ) -> dict[tuple, Fraction]:
+        """All ``(c̄, P_{M_Σ,Q}(D, c̄))`` pairs with non-zero probability.
+
+        The paper defines the set over every tuple in ``dom(D)^{|x̄|}``; tuples
+        with probability zero are omitted here (they are the complement).
+        """
+        answers: dict[tuple, Fraction] = {}
+        for repair, probability in self.repair_probabilities().items():
+            for answer in query.answers(repair):
+                answers[answer] = answers.get(answer, Fraction(0)) + probability
+        return answers
+
+    # -- Definition 3.5 validation ---------------------------------------------------
+
+    def validate(self) -> None:
+        """Check conditions (1)-(4) of Definition 3.5; raise on violation."""
+        if not self.root.sequence.is_empty:
+            raise ChainError("root must be the empty sequence")
+        for node in self.nodes():
+            expected = justified_operations(node.state, self.constraints)
+            actual = frozenset(c.operation for c in node.children)
+            if actual != expected:
+                raise ChainError(
+                    f"children of {node} realize {sorted(map(str, actual))}, "
+                    f"expected Ops = {sorted(map(str, expected))}"
+                )
+            if node.children:
+                total = Fraction(0)
+                for child in node.children:
+                    if child.edge_probability is None:
+                        raise ChainError(f"edge into {child} is not annotated")
+                    if not 0 <= child.edge_probability <= 1:
+                        raise ChainError(f"edge into {child} has label outside [0, 1]")
+                    total += child.edge_probability
+                if total != 1:
+                    raise ChainError(f"edges out of {node} sum to {total}, not 1")
+            else:
+                if not self.constraints.satisfied_by(node.state):
+                    raise ChainError(f"leaf {node} has an inconsistent state")

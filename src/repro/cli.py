@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on JSON instance files (see :mod:`repro.io`):
+
+* ``inspect FILE``                       — consistency, violations, conflict components
+* ``answers FILE -q QUERY [options]``    — operational consistent answers
+* ``probability FILE -q QUERY [options]``— one ``P_{M_Σ,Q}(D, c̄)`` value
+* ``sample FILE [options]``              — draw repairs / sequences / walks
+* ``count FILE [--what crs|repairs]``    — polynomial counts (primary keys)
+* ``example NAME``                       — dump a built-in instance as JSON
+
+Example::
+
+    python -m repro example figure2 > fig2.json
+    python -m repro answers fig2.json -q 'Ans(?x) :- R(?x, ?y)' -g M_ur
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from fractions import Fraction
+
+from .chains.generators import M_UO, M_UO1, M_UR, M_UR1, M_US, M_US1
+from .core.conflict_graph import ConflictGraph
+from .core.violations import violations
+from .counting import count_crs, count_crs1
+from .counting.repair_count import (
+    count_candidate_repairs_primary_keys,
+    count_singleton_repairs_primary_keys,
+)
+from .cqa.answers import ocqa_probability, operational_consistent_answers
+from .io import (
+    instance_to_dict,
+    load_instance,
+    parse_query,
+)
+from .sampling.operations_sampler import UniformOperationsSampler
+from .sampling.repair_sampler import RepairSampler
+from .sampling.sequence_sampler import SequenceSampler
+
+GENERATORS = {
+    "M_ur": M_UR,
+    "M_us": M_US,
+    "M_uo": M_UO,
+    "M_ur,1": M_UR1,
+    "M_us,1": M_US1,
+    "M_uo,1": M_UO1,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Uniform operational consistent query answering (PODS 2022)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    inspect = commands.add_parser("inspect", help="describe an instance")
+    inspect.add_argument("instance", help="path to a JSON instance file")
+
+    answers = commands.add_parser("answers", help="operational consistent answers")
+    answers.add_argument("instance")
+    answers.add_argument("-q", "--query", required=True, help="e.g. 'Ans(?x) :- R(?x, ?y)'")
+    _add_generator_options(answers)
+
+    probability = commands.add_parser("probability", help="one answer's probability")
+    probability.add_argument("instance")
+    probability.add_argument("-q", "--query", required=True)
+    probability.add_argument(
+        "-a", "--answer", default="", help="comma-separated answer tuple"
+    )
+    _add_generator_options(probability)
+
+    sample = commands.add_parser("sample", help="draw repairs/sequences/walks")
+    sample.add_argument("instance")
+    sample.add_argument(
+        "--what", choices=("repair", "sequence", "walk"), default="repair"
+    )
+    sample.add_argument("-n", type=int, default=5, dest="count")
+    sample.add_argument("--singleton", action="store_true")
+    sample.add_argument("--seed", type=int, default=None)
+
+    count = commands.add_parser("count", help="polynomial counts (primary keys)")
+    count.add_argument("instance")
+    count.add_argument("--what", choices=("crs", "repairs"), default="repairs")
+    count.add_argument("--singleton", action="store_true")
+
+    example = commands.add_parser("example", help="dump a built-in instance")
+    example.add_argument(
+        "name", choices=("figure2", "running", "intro", "pathological8")
+    )
+    return parser
+
+
+def _add_generator_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "-g", "--generator", choices=sorted(GENERATORS), default="M_ur"
+    )
+    subparser.add_argument(
+        "--method", choices=("exact", "approx"), default="exact"
+    )
+    subparser.add_argument("--epsilon", type=float, default=0.2)
+    subparser.add_argument("--delta", type=float, default=0.05)
+    subparser.add_argument("--seed", type=int, default=None)
+
+
+def _rng(seed: int | None) -> random.Random:
+    return random.Random(seed) if seed is not None else random.Random()
+
+
+def _parse_answer(raw: str) -> tuple:
+    if not raw:
+        return ()
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        values.append(int(token) if token.lstrip("-").isdigit() else token)
+    return tuple(values)
+
+
+def _render_probability(value) -> str:
+    if isinstance(value, Fraction):
+        return f"{value} (= {float(value):.6f})"
+    return f"{value.estimate:.6f} ({value.samples_used} samples, method {value.method})"
+
+
+def command_inspect(args: argparse.Namespace) -> int:
+    database, constraints = load_instance(args.instance)
+    print(f"facts: {len(database)}")
+    print(f"fds:   {constraints}")
+    print(f"class: keys={constraints.all_keys()} "
+          f"primary_keys={constraints.is_primary_keys()}")
+    print(f"consistent: {constraints.satisfied_by(database)}")
+    found = sorted(violations(database, constraints), key=str)
+    print(f"violations: {len(found)}")
+    for violation in found[:20]:
+        print(f"  {violation}")
+    if len(found) > 20:
+        print(f"  ... and {len(found) - 20} more")
+    graph = ConflictGraph.of(database, constraints)
+    components = graph.nontrivial_components()
+    print(f"conflict components: {len(components)} "
+          f"(sizes {sorted(len(c) for c in components)})")
+    print(f"conflict-free facts: {len(graph.isolated_nodes())}")
+    return 0
+
+
+def command_answers(args: argparse.Namespace) -> int:
+    database, constraints = load_instance(args.instance)
+    query = parse_query(args.query)
+    rows = operational_consistent_answers(
+        database,
+        constraints,
+        GENERATORS[args.generator],
+        query,
+        method=args.method,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        rng=_rng(args.seed),
+    )
+    for row in rows:
+        rendered = ", ".join(map(str, row.answer)) if row.answer else "()"
+        if isinstance(row.probability, Fraction):
+            print(f"{rendered}\t{row.probability}\t{float(row.probability):.6f}")
+        else:
+            print(f"{rendered}\t~\t{row.probability:.6f}")
+    return 0
+
+
+def command_probability(args: argparse.Namespace) -> int:
+    database, constraints = load_instance(args.instance)
+    query = parse_query(args.query)
+    value = ocqa_probability(
+        database,
+        constraints,
+        GENERATORS[args.generator],
+        query,
+        _parse_answer(args.answer),
+        method=args.method,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        rng=_rng(args.seed),
+    )
+    print(_render_probability(value))
+    return 0
+
+
+def command_sample(args: argparse.Namespace) -> int:
+    database, constraints = load_instance(args.instance)
+    rng = _rng(args.seed)
+    if args.what == "repair":
+        sampler = RepairSampler(database, constraints, args.singleton, rng)
+        for _ in range(args.count):
+            print(sampler.sample())
+    elif args.what == "sequence":
+        sampler = SequenceSampler(database, constraints, args.singleton, rng)
+        for _ in range(args.count):
+            print(sampler.sample())
+    else:
+        walker = UniformOperationsSampler(database, constraints, args.singleton, rng)
+        for _ in range(args.count):
+            result = walker.walk()
+            print(f"{result.sequence}  ->  {result.repair}  (pi = {result.probability})")
+    return 0
+
+
+def command_count(args: argparse.Namespace) -> int:
+    database, constraints = load_instance(args.instance)
+    if args.what == "crs":
+        value = (
+            count_crs1(database, constraints)
+            if args.singleton
+            else count_crs(database, constraints)
+        )
+    else:
+        value = (
+            count_singleton_repairs_primary_keys(database, constraints)
+            if args.singleton
+            else count_candidate_repairs_primary_keys(database, constraints)
+        )
+    print(value)
+    return 0
+
+
+def command_example(args: argparse.Namespace) -> int:
+    from .reductions.pathological import pathological_instance
+    from .workloads import figure2_database, intro_example
+
+    if args.name == "figure2":
+        database, constraints = figure2_database()
+    elif args.name == "running":
+        from .core import Database, FDSet, Schema, fact, fd
+
+        schema = Schema.from_spec({"R": ["A", "B", "C"]})
+        database = Database(
+            [
+                fact("R", "a1", "b1", "c1"),
+                fact("R", "a1", "b2", "c2"),
+                fact("R", "a2", "b1", "c2"),
+            ],
+            schema=schema,
+        )
+        constraints = FDSet(schema, [fd("R", "A", "B"), fd("R", "C", "B")])
+    elif args.name == "intro":
+        scenario = intro_example()
+        database, constraints = scenario.database, scenario.constraints
+    else:
+        instance = pathological_instance(8)
+        database, constraints = instance.database, instance.constraints
+    json.dump(instance_to_dict(database, constraints), sys.stdout, indent=2)
+    print()
+    return 0
+
+
+COMMANDS = {
+    "inspect": command_inspect,
+    "answers": command_answers,
+    "probability": command_probability,
+    "sample": command_sample,
+    "count": command_count,
+    "example": command_example,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,208 @@
+"""Conflict graphs ``CG(D, Σ)`` and independent-set machinery.
+
+The conflict graph has the facts of ``D`` as nodes and an edge ``{f, g}``
+whenever ``{f, g} ̸|= Σ`` (Section 5).  Lemma 5.4 states that for a
+non-trivially ``Σ``-connected database, ``|CORep(D, Σ)| = |IS(CG(D, Σ))|``;
+Lemma E.4 gives the singleton-operation analogue with non-empty independent
+sets.  The component-wise generalization implemented in
+:mod:`repro.exact.enumerate` builds on the helpers here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from .database import Database
+from .dependencies import FDSet
+from .facts import Fact
+from .violations import violating_fact_pairs
+
+
+@dataclass(frozen=True)
+class ConflictGraph:
+    """An undirected graph over facts, stored as a frozen adjacency map."""
+
+    nodes: frozenset[Fact]
+    adjacency: Mapping[Fact, frozenset[Fact]]
+
+    @classmethod
+    def of(cls, database: Database, constraints: FDSet) -> "ConflictGraph":
+        """``CG(D, Σ)``."""
+        adjacency: dict[Fact, set[Fact]] = {f: set() for f in database}
+        for pair in violating_fact_pairs(database, constraints):
+            f, g = tuple(pair)
+            adjacency[f].add(g)
+            adjacency[g].add(f)
+        return cls(
+            nodes=frozenset(database.facts),
+            adjacency={f: frozenset(neighbours) for f, neighbours in adjacency.items()},
+        )
+
+    @classmethod
+    def from_edges(
+        cls, nodes: Iterable[Fact], edges: Iterable[frozenset[Fact]]
+    ) -> "ConflictGraph":
+        """Build directly from an edge list (used by reduction tests)."""
+        adjacency: dict[Fact, set[Fact]] = {n: set() for n in nodes}
+        for edge in edges:
+            f, g = tuple(edge)
+            adjacency[f].add(g)
+            adjacency[g].add(f)
+        return cls(
+            nodes=frozenset(adjacency),
+            adjacency={f: frozenset(neighbours) for f, neighbours in adjacency.items()},
+        )
+
+    # -- basic structure -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def neighbours(self, f: Fact) -> frozenset[Fact]:
+        return self.adjacency.get(f, frozenset())
+
+    def degree(self, f: Fact) -> int:
+        return len(self.neighbours(f))
+
+    def max_degree(self) -> int:
+        """The degree ``Δ`` of the graph (0 for the empty graph)."""
+        if not self.nodes:
+            return 0
+        return max(self.degree(f) for f in self.nodes)
+
+    def edges(self) -> frozenset[frozenset[Fact]]:
+        found = set()
+        for f, neighbours in self.adjacency.items():
+            for g in neighbours:
+                found.add(frozenset((f, g)))
+        return frozenset(found)
+
+    def edge_count(self) -> int:
+        return len(self.edges())
+
+    def has_edge(self, f: Fact, g: Fact) -> bool:
+        return g in self.neighbours(f)
+
+    def isolated_nodes(self) -> frozenset[Fact]:
+        """Facts involved in no conflict (kept by every repair)."""
+        return frozenset(f for f in self.nodes if not self.neighbours(f))
+
+    # -- connectivity ----------------------------------------------------------------
+
+    def connected_components(self) -> list[frozenset[Fact]]:
+        """Maximal connected node sets, in a deterministic order."""
+        remaining = set(self.nodes)
+        components = []
+        for start in sorted(self.nodes, key=str):
+            if start not in remaining:
+                continue
+            component = {start}
+            frontier = [start]
+            remaining.discard(start)
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self.neighbours(current):
+                    if neighbour in remaining:
+                        remaining.discard(neighbour)
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(frozenset(component))
+        return components
+
+    def nontrivial_components(self) -> list[frozenset[Fact]]:
+        """Components with at least two nodes (the conflict-carrying ones)."""
+        return [c for c in self.connected_components() if len(c) > 1]
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    def is_nontrivially_connected(self) -> bool:
+        """At least two nodes and connected (Section 5's notion)."""
+        return len(self.nodes) >= 2 and self.is_connected()
+
+    def subgraph(self, nodes: Iterable[Fact]) -> "ConflictGraph":
+        node_set = frozenset(nodes)
+        return ConflictGraph(
+            nodes=node_set,
+            adjacency={f: self.neighbours(f) & node_set for f in node_set},
+        )
+
+    # -- independent sets ---------------------------------------------------------------
+
+    def is_independent(self, nodes: Iterable[Fact]) -> bool:
+        node_set = frozenset(nodes)
+        return all(not (self.neighbours(f) & node_set) for f in node_set)
+
+    def independent_sets(self) -> Iterator[frozenset[Fact]]:
+        """All independent sets, including the empty set.
+
+        Uses branch-on-a-vertex recursion (exclude ``v`` / include ``v`` and
+        drop its closed neighbourhood).  Exponential output in general —
+        intended for the small instances exact engines handle.
+        """
+        ordered = sorted(self.nodes, key=str)
+
+        def recurse(available: frozenset[Fact]) -> Iterator[frozenset[Fact]]:
+            pick = next((v for v in ordered if v in available), None)
+            if pick is None:
+                yield frozenset()
+                return
+            without = available - {pick}
+            yield from recurse(without)
+            blocked = without - self.neighbours(pick)
+            for inner in recurse(blocked):
+                yield inner | {pick}
+
+        yield from recurse(self.nodes)
+
+    def count_independent_sets(self) -> int:
+        """``|IS(G)|`` via the same branching with memoization on node sets."""
+        cache: dict[frozenset[Fact], int] = {}
+        ordered = sorted(self.nodes, key=str)
+
+        def count(available: frozenset[Fact]) -> int:
+            if available in cache:
+                return cache[available]
+            pick = next((v for v in ordered if v in available), None)
+            if pick is None:
+                result = 1
+            else:
+                without = available - {pick}
+                result = count(without) + count(without - self.neighbours(pick))
+            cache[available] = result
+            return result
+
+        return count(self.nodes)
+
+    def count_nonempty_independent_sets(self) -> int:
+        """``|IS≠∅(G)|`` (Lemma E.4's count)."""
+        return self.count_independent_sets() - 1
+
+    def maximal_independent_sets(self) -> Iterator[frozenset[Fact]]:
+        """All maximal independent sets — the classical subset repairs."""
+        for independent in self.independent_sets():
+            if self._is_maximal_independent(independent):
+                yield independent
+
+    def _is_maximal_independent(self, independent: frozenset[Fact]) -> bool:
+        for candidate in self.nodes - independent:
+            if not (self.neighbours(candidate) & independent):
+                return False
+        return True
+
+    def matches_under(self, other: "ConflictGraph", bijection: Mapping[Fact, Fact]) -> bool:
+        """Whether ``bijection`` is a graph isomorphism from ``self`` to ``other``.
+
+        Used by the reduction tests (Prop 5.5 requires ``CG(D_G, Σ_K)``
+        isomorphic to the input graph under the node-to-fact map).
+        """
+        if frozenset(bijection) != self.nodes:
+            return False
+        if frozenset(bijection.values()) != other.nodes:
+            return False
+        for f in self.nodes:
+            image_neighbours = frozenset(bijection[g] for g in self.neighbours(f))
+            if image_neighbours != other.neighbours(bijection[f]):
+                return False
+        return True

@@ -1,0 +1,131 @@
+"""Databases: finite sets of facts over a schema.
+
+A database ``D`` over a schema ``S`` is a finite set of facts over ``S``
+(Section 2).  :class:`Database` is immutable and hashable so that exact
+engines can memoize on database states; all "mutation" helpers return new
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .facts import Constant, Fact
+from .schema import Schema, SchemaError
+
+
+class Database:
+    """An immutable set of facts, optionally validated against a schema.
+
+    The schema is carried along for attribute-name resolution (FD checking,
+    blocks) but equality and hashing are on the fact set alone, matching the
+    paper where a database is just a set of facts.
+    """
+
+    __slots__ = ("_facts", "_schema", "_hash")
+
+    def __init__(self, facts: Iterable[Fact] = (), schema: Schema | None = None):
+        fact_set = frozenset(facts)
+        if schema is not None:
+            for f in fact_set:
+                if not f.conforms_to(schema):
+                    raise SchemaError(f"fact {f} does not conform to schema {schema}")
+        self._facts: frozenset[Fact] = fact_set
+        self._schema = schema
+        self._hash = hash(fact_set)
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        return self._facts
+
+    @property
+    def schema(self) -> Schema | None:
+        return self._schema
+
+    # -- set protocol -------------------------------------------------------
+
+    def __contains__(self, f: Fact) -> bool:
+        return f in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "Database") -> bool:
+        return self._facts <= other._facts
+
+    def __lt__(self, other: "Database") -> bool:
+        return self._facts < other._facts
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def of(cls, *facts: Fact, schema: Schema | None = None) -> "Database":
+        return cls(facts, schema=schema)
+
+    def with_schema(self, schema: Schema) -> "Database":
+        """The same fact set, validated against and carrying ``schema``."""
+        return Database(self._facts, schema=schema)
+
+    def union(self, facts: Iterable[Fact]) -> "Database":
+        return Database(self._facts | frozenset(facts), schema=self._schema)
+
+    def difference(self, facts: Iterable[Fact]) -> "Database":
+        return Database(self._facts - frozenset(facts), schema=self._schema)
+
+    def remove(self, facts: Iterable[Fact]) -> "Database":
+        """Alias of :meth:`difference`; operations remove facts."""
+        return self.difference(facts)
+
+    def restrict_to_relation(self, relation: str) -> "Database":
+        """The sub-database of facts over one relation name."""
+        return Database(
+            (f for f in self._facts if f.relation == relation), schema=self._schema
+        )
+
+    # -- inspection -----------------------------------------------------------
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(f.relation for f in self._facts)
+
+    def facts_of(self, relation: str) -> frozenset[Fact]:
+        return frozenset(f for f in self._facts if f.relation == relation)
+
+    def by_relation(self) -> Mapping[str, frozenset[Fact]]:
+        """Facts grouped by relation name."""
+        grouped: dict[str, set[Fact]] = {}
+        for f in self._facts:
+            grouped.setdefault(f.relation, set()).add(f)
+        return {name: frozenset(fs) for name, fs in grouped.items()}
+
+    def active_domain(self) -> frozenset[Constant]:
+        """``dom(D)``: the set of constants occurring in the database."""
+        return frozenset(value for f in self._facts for value in f.values)
+
+    def sorted_facts(self) -> list[Fact]:
+        """Facts in a deterministic order (for reproducible iteration)."""
+        return sorted(self._facts, key=lambda f: (f.relation, tuple(map(_sort_key, f.values))))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(f) for f in self.sorted_facts())
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        return f"Database({sorted(map(str, self._facts))})"
+
+
+def _sort_key(value: Constant) -> tuple[str, str]:
+    """Total order over heterogeneous constants: by type name, then repr."""
+    return (type(value).__name__, repr(value))

@@ -1,0 +1,78 @@
+"""Facts over a relational schema.
+
+A fact is an expression ``R(c1, ..., cn)`` where ``R/n`` is a relation name
+and each ``ci`` is a constant (Section 2).  Constants are arbitrary hashable
+Python values; strings and integers are typical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from .schema import RelationSchema, Schema, SchemaError
+
+Constant = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """An immutable fact ``relation(values...)``.
+
+    Facts are hashable and totally ordered (lexicographically by relation
+    name then values, when values are comparable), which the library uses
+    for deterministic iteration orders and for the canonical-sequence
+    ordering of the uniform-repairs generator.
+    """
+
+    relation: str
+    values: tuple[Constant, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    def value_at(self, position: int) -> Constant:
+        """The constant at a 0-based position."""
+        return self.values[position]
+
+    def __getitem__(self, attribute_or_position):
+        """``fact[A]``: the constant at attribute name or 0-based position.
+
+        Attribute-name lookup requires binding through :meth:`project`
+        or the helpers on :class:`~repro.core.database.Database`; here a
+        string argument is not resolvable, so only integers are accepted.
+        """
+        if isinstance(attribute_or_position, int):
+            return self.values[attribute_or_position]
+        raise TypeError(
+            "attribute-name lookup needs a RelationSchema; use fact.value(schema, name)"
+        )
+
+    def value(self, relation_schema: RelationSchema, attribute: str) -> Constant:
+        """``f[A]``: the constant at attribute ``A`` (paper notation)."""
+        if relation_schema.name != self.relation:
+            raise SchemaError(
+                f"fact over {self.relation!r} queried with schema of {relation_schema.name!r}"
+            )
+        return self.values[relation_schema.position_of(attribute)]
+
+    def project(self, relation_schema: RelationSchema, attributes: Iterable[str]) -> tuple:
+        """Tuple of constants at the given attributes, in the given order."""
+        return tuple(self.value(relation_schema, a) for a in attributes)
+
+    def conforms_to(self, schema: Schema) -> bool:
+        """Whether the fact's relation exists in ``schema`` with matching arity."""
+        return self.relation in schema and schema.relation(self.relation).arity == self.arity
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(map(repr, self.values))})"
+
+
+def fact(relation: str, *values: Constant) -> Fact:
+    """Convenience constructor: ``fact('R', 'a', 1)`` = ``R('a', 1)``."""
+    return Fact(relation, tuple(values))

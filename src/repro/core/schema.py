@@ -1,0 +1,126 @@
+"""Relational schemas.
+
+A (relational) schema is a finite set of relation names, each with an
+associated arity and a tuple of distinct attribute names (Section 2 of the
+paper).  Attribute names give positions a stable identity so that functional
+dependencies can be written over names (``R : A -> B``) rather than indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised for ill-formed schemas or schema lookups that fail."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name with its ordered attribute names.
+
+    The arity of the relation is ``len(attributes)``.  Attribute names must
+    be distinct, mirroring the paper's requirement that each relation name
+    ``R/n`` is associated with a tuple of *distinct* attribute names.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} must have arity > 0")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"relation {self.name!r} has duplicate attribute names: {self.attributes}"
+            )
+        # Normalize to a tuple so list input is accepted without surprises.
+        if not isinstance(self.attributes, tuple):
+            object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes (the ``n`` in ``R/n``)."""
+        return len(self.attributes)
+
+    def attribute_set(self) -> frozenset[str]:
+        """``att(R)``: the set of attribute names of this relation."""
+        return frozenset(self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Index of ``attribute`` within the relation's attribute tuple."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def positions_of(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        """Indexes of several attributes, in the order given."""
+        return tuple(self.position_of(a) for a in attributes)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A finite set of relation schemas, indexed by relation name."""
+
+    relations: Mapping[str, RelationSchema] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        frozen = {}
+        for name, rel in dict(self.relations).items():
+            if name != rel.name:
+                raise SchemaError(
+                    f"schema key {name!r} does not match relation name {rel.name!r}"
+                )
+            frozen[name] = rel
+        object.__setattr__(self, "relations", frozen)
+
+    def __hash__(self) -> int:
+        # The generated dataclass hash would choke on the dict field.
+        return hash(frozenset(self.relations.values()))
+
+    @classmethod
+    def of(cls, *relations: RelationSchema) -> "Schema":
+        """Build a schema from relation schemas, e.g. ``Schema.of(rel_r, rel_s)``."""
+        mapping: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in mapping:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            mapping[rel.name] = rel
+        return cls(mapping)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Sequence[str]]) -> "Schema":
+        """Build a schema from ``{relation_name: [attribute, ...]}``."""
+        return cls.of(*(RelationSchema(name, tuple(attrs)) for name, attrs in spec.items()))
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"schema has no relation named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def names(self) -> frozenset[str]:
+        """The set of relation names in the schema."""
+        return frozenset(self.relations)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(rel) for rel in self) + "}"

@@ -1,0 +1,122 @@
+"""Repairing sequences (Definition 3.4).
+
+A sequence of operations ``s = (op_i)`` is ``(D, Σ)``-repairing when every
+``op_i`` is justified at the intermediate state ``D^s_{i-1}``.  A repairing
+sequence is *complete* when its result ``s(D)`` is consistent with ``Σ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .database import Database
+from .dependencies import FDSet
+from .operations import Operation, is_justified
+
+
+@dataclass(frozen=True)
+class RepairingSequence:
+    """An immutable sequence of operations.
+
+    The class does not itself fix ``D`` and ``Σ``; validity predicates take
+    them as arguments, matching the paper's usage where the same operation
+    tuple can be examined against different databases.
+    """
+
+    operations: tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operations, tuple):
+            object.__setattr__(self, "operations", tuple(self.operations))
+
+    # -- structure ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __getitem__(self, index: int) -> Operation:
+        return self.operations[index]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.operations
+
+    def extend(self, operation: Operation) -> "RepairingSequence":
+        """``s · op``."""
+        return RepairingSequence(self.operations + (operation,))
+
+    def prefix(self, length: int) -> "RepairingSequence":
+        """``s_i``: the first ``length`` operations."""
+        return RepairingSequence(self.operations[:length])
+
+    def prefixes(self) -> Iterator["RepairingSequence"]:
+        """All prefixes ``s_0 = ε, s_1, ..., s_n = s``."""
+        for i in range(len(self.operations) + 1):
+            yield self.prefix(i)
+
+    def is_prefix_of(self, other: "RepairingSequence") -> bool:
+        return self.operations == other.operations[: len(self.operations)]
+
+    def uses_only_singletons(self) -> bool:
+        """Whether every operation removes a single fact (``RS¹`` membership)."""
+        return all(op.is_singleton for op in self.operations)
+
+    def removed_facts(self) -> frozenset:
+        return frozenset(f for op in self.operations for f in op.removed)
+
+    # -- semantics ----------------------------------------------------------------
+
+    def apply(self, database: Database) -> Database:
+        """``s(D)``: the result of applying all operations to ``database``."""
+        state = database
+        for operation in self.operations:
+            state = operation.apply(state)
+        return state
+
+    def __call__(self, database: Database) -> Database:
+        return self.apply(database)
+
+    def states(self, database: Database) -> list[Database]:
+        """``[D^s_0, D^s_1, ..., D^s_n]``: all intermediate states."""
+        result = [database]
+        for operation in self.operations:
+            result.append(operation.apply(result[-1]))
+        return result
+
+    def is_repairing(self, database: Database, constraints: FDSet) -> bool:
+        """Definition 3.4: each operation is justified at its predecessor state."""
+        state = database
+        for operation in self.operations:
+            if not is_justified(operation, state, constraints):
+                return False
+            state = operation.apply(state)
+        return True
+
+    def is_complete(self, database: Database, constraints: FDSet) -> bool:
+        """Repairing and ``s(D) |= Σ``."""
+        return self.is_repairing(database, constraints) and constraints.satisfied_by(
+            self.apply(database)
+        )
+
+    def __str__(self) -> str:
+        if not self.operations:
+            return "ε"
+        return ", ".join(str(op) for op in self.operations)
+
+    def sort_key(self) -> tuple:
+        return tuple(op.sort_key() for op in self.operations)
+
+    def __lt__(self, other: "RepairingSequence") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+EMPTY_SEQUENCE = RepairingSequence(())
+
+
+def sequence(operations: Iterable[Operation]) -> RepairingSequence:
+    """Convenience constructor."""
+    return RepairingSequence(tuple(operations))

@@ -1,0 +1,91 @@
+"""FD violations: the set ``V(D, Σ)`` of Definition 3.2.
+
+A ``D``-violation of an FD ``φ = R : X -> Y`` is a two-fact set
+``{f, g} ⊆ D`` with ``{f, g} ̸|= φ``.  ``V(D, Σ)`` collects pairs ``(φ, v)``
+over all ``φ ∈ Σ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator
+
+from .database import Database
+from .dependencies import FDSet, FunctionalDependency
+from .facts import Fact
+from .schema import Schema
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A witnessed violation ``(φ, {f, g}) ∈ V(D, Σ)``."""
+
+    dependency: FunctionalDependency
+    facts: frozenset[Fact]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "facts", frozenset(self.facts))
+        if len(self.facts) != 2:
+            raise ValueError("an FD violation involves exactly two facts")
+
+    def pair(self) -> tuple[Fact, Fact]:
+        """The two facts in a deterministic order."""
+        first, second = sorted(self.facts, key=str)
+        return first, second
+
+    def __str__(self) -> str:
+        first, second = self.pair()
+        return f"({self.dependency}, {{{first}, {second}}})"
+
+
+def violations_of_fd(
+    database: Database, dependency: FunctionalDependency, schema: Schema
+) -> Iterator[frozenset[Fact]]:
+    """``V(D, φ)``: all two-fact violations of a single FD.
+
+    Facts are grouped by their LHS projection; only groups holding more than
+    one distinct RHS projection can contain violating pairs, so large
+    consistent relations are skipped in near-linear time.
+    """
+    rel = schema.relation(dependency.relation)
+    lhs_positions = rel.positions_of(sorted(dependency.lhs))
+    rhs_positions = rel.positions_of(sorted(dependency.rhs))
+    groups: dict[tuple, list[Fact]] = {}
+    for f in sorted(database.facts_of(dependency.relation), key=str):
+        groups.setdefault(tuple(f.values[i] for i in lhs_positions), []).append(f)
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        for f, g in combinations(group, 2):
+            f_rhs = tuple(f.values[i] for i in rhs_positions)
+            g_rhs = tuple(g.values[i] for i in rhs_positions)
+            if f_rhs != g_rhs:
+                yield frozenset((f, g))
+
+
+def violations(database: Database, constraints: FDSet) -> frozenset[Violation]:
+    """``V(D, Σ)``: every (dependency, pair) witnessing inconsistency."""
+    found = set()
+    for dependency in constraints:
+        for pair in violations_of_fd(database, dependency, constraints.schema):
+            found.add(Violation(dependency, pair))
+    return frozenset(found)
+
+
+def violating_fact_pairs(database: Database, constraints: FDSet) -> frozenset[frozenset[Fact]]:
+    """The conflicting pairs ``{f, g} ̸|= Σ``, without the witnessing FD.
+
+    These are exactly the edges of the conflict graph ``CG(D, Σ)``.
+    """
+    return frozenset(v.facts for v in violations(database, constraints))
+
+
+def is_consistent(database: Database, constraints: FDSet) -> bool:
+    """``D |= Σ``, decided via the per-FD group check (no pair enumeration)."""
+    return constraints.satisfied_by(database)
+
+
+def facts_in_violation(database: Database, constraints: FDSet) -> frozenset[Fact]:
+    """The facts participating in at least one violation of ``Σ``."""
+    return frozenset(f for v in violations(database, constraints) for f in v.facts)

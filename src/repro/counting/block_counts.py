@@ -1,0 +1,107 @@
+"""Closed-form per-block sequence counts (proof of Lemma C.1).
+
+For a single block ``B`` of size ``m >= 2`` under a primary key, every
+complete repairing sequence over ``B`` either keeps one fact (non-empty
+result; with ``i`` pair removals it has length ``m - i - 1``) or removes all
+facts (empty result, only possible when the last operation removes a pair;
+length ``m - i``).  The paper derives:
+
+``S^{ne,i}_m = m! (m-i-1)! / (2^i i! (m-2i-1)!)``
+``S^{e,i}_m  = m! (m-i-1)! / (2^i (i-1)! (m-2i)!)``  for ``i >= 1``
+
+Worked check (Example C.2, ``m = 3``): ``S^{ne,0}=6, S^{ne,1}=3, S^{e,1}=3``.
+"""
+
+from __future__ import annotations
+
+from math import comb, factorial
+
+
+def nonempty_block_sequences(m: int, i: int) -> int:
+    """``S^{ne,i}_m``: complete block sequences with a non-empty result.
+
+    Zero outside the feasible range (in particular ``i = m/2`` for even
+    ``m``: one cannot keep a fact using ``m/2`` pair removals).
+    """
+    if m < 2:
+        raise ValueError("block sequence counts are defined for blocks of size >= 2")
+    if i < 0 or m - 2 * i - 1 < 0:
+        return 0
+    return (
+        factorial(m)
+        * factorial(m - i - 1)
+        // (2**i * factorial(i) * factorial(m - 2 * i - 1))
+    )
+
+
+def empty_block_sequences(m: int, i: int) -> int:
+    """``S^{e,i}_m``: complete block sequences with an empty result.
+
+    Zero for ``i = 0`` (an empty repair needs at least one pair removal).
+    """
+    if m < 2:
+        raise ValueError("block sequence counts are defined for blocks of size >= 2")
+    if i < 1 or m - 2 * i < 0:
+        return 0
+    return (
+        factorial(m)
+        * factorial(m - i - 1)
+        // (2**i * factorial(i - 1) * factorial(m - 2 * i))
+    )
+
+
+def max_pair_removals(m: int) -> int:
+    """``⌊m/2⌋``: the largest number of pair removals a block admits."""
+    return m // 2
+
+
+def block_sequence_count(m: int) -> int:
+    """All complete repairing sequences over one block of size ``m``.
+
+    Example C.2 reports 12 for ``m = 3`` and 3 for ``m = 2``.
+    """
+    total = 0
+    for i in range(max_pair_removals(m) + 1):
+        total += nonempty_block_sequences(m, i) + empty_block_sequences(m, i)
+    return total
+
+
+def block_length_distribution(m: int) -> dict[int, int]:
+    """Complete block sequences grouped by length.
+
+    The shuffle-product DP of :mod:`repro.counting.crs_count` combines blocks
+    through these distributions: interleavings depend only on lengths.
+    """
+    distribution: dict[int, int] = {}
+    for i in range(max_pair_removals(m) + 1):
+        nonempty = nonempty_block_sequences(m, i)
+        if nonempty:
+            length = m - i - 1
+            distribution[length] = distribution.get(length, 0) + nonempty
+        empty = empty_block_sequences(m, i)
+        if empty:
+            length = m - i
+            distribution[length] = distribution.get(length, 0) + empty
+    return distribution
+
+
+def singleton_block_sequence_count(m: int) -> int:
+    """``m!``: complete singleton-operation sequences over a block of size ``m``.
+
+    Choose the surviving fact (``m`` ways) and remove the other ``m - 1``
+    facts in any order — every removal is justified while the block still
+    holds two facts or more (Appendix E.2).
+    """
+    if m < 2:
+        raise ValueError("block sequence counts are defined for blocks of size >= 2")
+    return factorial(m)
+
+
+def singleton_block_length_distribution(m: int) -> dict[int, int]:
+    """Length distribution of singleton-only block sequences: all ``m - 1`` long."""
+    return {m - 1: singleton_block_sequence_count(m)}
+
+
+def interleavings(length_a: int, length_b: int) -> int:
+    """Ways to interleave two sequences of the given lengths: ``C(a+b, a)``."""
+    return comb(length_a + length_b, length_a)

@@ -1,0 +1,93 @@
+"""Polynomial ``M_us`` transition and path probabilities for primary keys.
+
+Definition A.3 sets ``P(s, s') = |CRS_{s'}| / |CRS_s|``, where the counts
+are complete-sequence counts of the states' *databases* — so for primary
+keys they reduce to the Lemma C.1 block DP and every edge label is
+polynomial-time computable without materializing the chain.  The
+telescoping product then gives ``π(s) = 1 / |CRS(D, Σ)|`` for every
+complete ``s``, which :func:`mus_sequence_probability` verifies computably:
+it multiplies the edge labels along an arbitrary repairing sequence.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.blocks import block_decomposition
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.operations import Operation, is_justified
+from ..core.sequences import RepairingSequence
+from .crs_count import count_crs1_for_block_sizes, count_crs_for_block_sizes
+
+
+def _crs_count_of_state(
+    state: Database, constraints: FDSet, singleton_only: bool
+) -> int:
+    sizes = tuple(block_decomposition(state, constraints).sizes())
+    if singleton_only:
+        return count_crs1_for_block_sizes(sizes)
+    return count_crs_for_block_sizes(sizes)
+
+
+def mus_edge_probability(
+    state: Database,
+    operation: Operation,
+    constraints: FDSet,
+    singleton_only: bool = False,
+) -> Fraction:
+    """``P(s, s·op) = |CRS(op(s(D)))| / |CRS(s(D))|`` in polynomial time.
+
+    Raises if ``operation`` is not justified at ``state`` (the edge does not
+    exist in the chain).
+    """
+    if not is_justified(operation, state, constraints):
+        raise ValueError(f"{operation} is not justified at this state")
+    if singleton_only and not operation.is_singleton:
+        return Fraction(0)
+    parent = _crs_count_of_state(state, constraints, singleton_only)
+    child = _crs_count_of_state(operation.apply(state), constraints, singleton_only)
+    return Fraction(child, parent)
+
+
+def mus_sequence_probability(
+    sequence: RepairingSequence,
+    database: Database,
+    constraints: FDSet,
+    singleton_only: bool = False,
+) -> Fraction:
+    """``π``-mass of the path taken by ``sequence`` from the root.
+
+    For a complete sequence the telescoping product collapses to
+    ``1 / |CRS(D, Σ)|`` — the uniform leaf distribution of Proposition A.4 —
+    which the tests assert for arbitrary sampled sequences.
+    """
+    probability = Fraction(1)
+    state = database
+    for operation in sequence:
+        probability *= mus_edge_probability(
+            state, operation, constraints, singleton_only
+        )
+        if probability == 0:
+            return probability
+        state = operation.apply(state)
+    return probability
+
+
+def mus_outgoing_distribution(
+    state: Database,
+    constraints: FDSet,
+    singleton_only: bool = False,
+) -> dict[Operation, Fraction]:
+    """All edge labels out of a state (a polynomial slice of ``M_us(D)``)."""
+    from ..core.operations import justified_operations
+
+    distribution = {}
+    for operation in sorted(justified_operations(state, constraints)):
+        if singleton_only and not operation.is_singleton:
+            distribution[operation] = Fraction(0)
+        else:
+            distribution[operation] = mus_edge_probability(
+                state, operation, constraints, singleton_only
+            )
+    return distribution

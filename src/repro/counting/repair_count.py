@@ -1,0 +1,38 @@
+"""Polynomial-time repair counting for primary keys and conflict graphs.
+
+Lemma 5.2's proof gives ``|CORep(D, Σ)| = Π (|B_i| + 1)`` over conflicting
+blocks for primary keys; Lemma E.2 gives ``|CORep¹(D, Σ)| = Π |B_i|``.  For
+general FDs the counts follow the conflict graph (Lemma 5.4 / E.4), which is
+how the inapproximability results connect repairs to independent sets — those
+counts are exponential-time in general and live in :mod:`repro.exact`.
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+from ..core.blocks import block_decomposition
+from ..core.database import Database
+from ..core.dependencies import FDSet
+
+
+def count_candidate_repairs_primary_keys(database: Database, constraints: FDSet) -> int:
+    """``|CORep(D, Σ)| = Π (|B_i| + 1)`` over blocks with conflicts."""
+    decomposition = block_decomposition(database, constraints)
+    return decomposition.count_candidate_repairs()
+
+
+def count_singleton_repairs_primary_keys(database: Database, constraints: FDSet) -> int:
+    """``|CORep¹(D, Σ)| = Π |B_i|`` over blocks with conflicts."""
+    decomposition = block_decomposition(database, constraints)
+    return decomposition.count_singleton_repairs()
+
+
+def count_repairs_for_block_sizes(sizes: list[int] | tuple[int, ...]) -> int:
+    """Product formula on raw block sizes (sizes < 2 contribute factor 1)."""
+    return prod(size + 1 for size in sizes if size >= 2)
+
+
+def count_singleton_repairs_for_block_sizes(sizes: list[int] | tuple[int, ...]) -> int:
+    """Singleton-operation product formula on raw block sizes."""
+    return prod(size for size in sizes if size >= 2)

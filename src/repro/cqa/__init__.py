@@ -1,0 +1,21 @@
+"""Query answering layers: the operational API and the classical baseline."""
+
+from .answers import AnswerProbability, ocqa_probability, operational_consistent_answers
+from .classical import (
+    classical_relative_frequency,
+    consistent_answers,
+    count_subset_repairs,
+    is_consistent_answer,
+    subset_repairs,
+)
+
+__all__ = [
+    "AnswerProbability",
+    "classical_relative_frequency",
+    "consistent_answers",
+    "count_subset_repairs",
+    "is_consistent_answer",
+    "ocqa_probability",
+    "operational_consistent_answers",
+    "subset_repairs",
+]

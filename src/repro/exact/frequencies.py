@@ -1,0 +1,73 @@
+"""Exact relative frequencies: ``rrfreq``, ``srfreq`` and singleton variants.
+
+Section 5 restates ``OCQA(Σ, M_ur, Q)`` as computing the *repair relative
+frequency* — the fraction of candidate repairs entailing the answer — and
+Section 6 restates ``OCQA(Σ, M_us, Q)`` as the *sequence relative frequency*.
+Appendix E introduces the singleton-operation counterparts ``rrfreq¹`` and
+``srfreq¹``.  All four are computed here exactly, as fractions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.queries import ConjunctiveQuery
+from .enumerate import candidate_repairs
+from .state_space import StateSpaceEngine
+
+
+def rrfreq(
+    database: Database,
+    constraints: FDSet,
+    query: ConjunctiveQuery,
+    answer: tuple = (),
+    singleton_only: bool = False,
+) -> Fraction:
+    """``rrfreq_{Σ,Q}(D, c̄)``: fraction of ``CORep`` entailing ``Q(c̄)``.
+
+    Enumerates candidate repairs component-wise (output-sensitive); this is
+    exponential in general, matching Theorem 5.1(1)'s ♯P-hardness.
+    """
+    total = 0
+    entailing = 0
+    for repair in candidate_repairs(database, constraints, singleton_only):
+        total += 1
+        if query.entails(repair, answer):
+            entailing += 1
+    if total == 0:
+        raise ValueError("CORep is empty — this cannot happen for FD constraints")
+    return Fraction(entailing, total)
+
+
+def rrfreq1(
+    database: Database, constraints: FDSet, query: ConjunctiveQuery, answer: tuple = ()
+) -> Fraction:
+    """``rrfreq¹``: the singleton-operation repair relative frequency."""
+    return rrfreq(database, constraints, query, answer, singleton_only=True)
+
+
+def srfreq(
+    database: Database,
+    constraints: FDSet,
+    query: ConjunctiveQuery,
+    answer: tuple = (),
+    singleton_only: bool = False,
+) -> Fraction:
+    """``srfreq_{Σ,Q}(D, c̄)``: fraction of ``CRS`` leading to an entailing repair."""
+    engine = StateSpaceEngine(database, constraints, singleton_only)
+    total = engine.count_complete_sequences()
+    if total == 0:
+        raise ValueError("CRS is empty — this cannot happen for FD constraints")
+    entailing = engine.count_complete_sequences(
+        accept=lambda db: query.entails(db, answer)
+    )
+    return Fraction(entailing, total)
+
+
+def srfreq1(
+    database: Database, constraints: FDSet, query: ConjunctiveQuery, answer: tuple = ()
+) -> Fraction:
+    """``srfreq¹``: the singleton-operation sequence relative frequency."""
+    return srfreq(database, constraints, query, answer, singleton_only=True)

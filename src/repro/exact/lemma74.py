@@ -1,0 +1,127 @@
+"""The sequence mapping ``F : S_¬f -> S_f`` of Lemma 7.4, executable.
+
+The heart of Theorem 7.1(2): to lower-bound the probability of keeping a
+fact ``f`` under ``M_uo``, each reachable leaf ``s`` that *removes* ``f`` is
+mapped to one that *keeps* it:
+
+1. the operation deleting ``f`` is dropped (if ``-f``) or replaced by
+   ``-g`` (if ``-{f, g}``);
+2. conflicts with ``f`` that the original sequence resolved by deleting
+   ``f`` are repaired by appending removals of the (at most ``k``, for
+   ``k`` keys per relation) facts of ``s(D)`` conflicting with ``f``.
+
+The lemma's two quantitative claims —
+``π(s) <= pol''(|D|)·π(F(s))`` and ``|F⁻¹(s')| <= 2|D| − 1`` —
+are checked empirically by the test suite over explicit chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.facts import Fact
+from ..core.operations import Operation, justified_operations
+from ..core.sequences import RepairingSequence
+
+
+class MappingError(ValueError):
+    """Raised when the mapping's preconditions are not met."""
+
+
+@dataclass(frozen=True)
+class MappedSequence:
+    """The image ``F(s)`` with the bookkeeping the proof tracks."""
+
+    original: RepairingSequence
+    image: RepairingSequence
+    replaced_operation: Operation
+    appended_operations: tuple[Operation, ...]
+
+
+def map_sequence_keeping_fact(
+    sequence: RepairingSequence,
+    fact: Fact,
+    database: Database,
+    constraints: FDSet,
+) -> MappedSequence:
+    """Compute ``F(s)`` for a complete sequence ``s`` that removes ``fact``.
+
+    Follows the proof of Lemma 7.4 (and its Appendix D.2 elaboration): drop
+    or shrink the operation removing ``fact``, keep the remaining operations
+    in order, then append singleton removals for every fact of the result
+    that conflicts with ``fact`` (in deterministic order).
+    """
+    if not sequence.is_complete(database, constraints):
+        raise MappingError("the mapping is defined on complete sequences")
+    removing_index = next(
+        (
+            index
+            for index, operation in enumerate(sequence)
+            if fact in operation.removed
+        ),
+        None,
+    )
+    if removing_index is None:
+        raise MappingError(f"{fact} is not removed by the sequence")
+    removing_operation = sequence[removing_index]
+    trunk: list[Operation] = []
+    for index, operation in enumerate(sequence):
+        if index == removing_index:
+            survivors = operation.removed - {fact}
+            if survivors:
+                trunk.append(Operation(survivors))
+        else:
+            trunk.append(operation)
+    # Repair the conflicts with ``fact`` that the original resolved by
+    # deleting ``fact``: remove every fact of the new result conflicting
+    # with it, in deterministic order (the proof allows any order).
+    partial = RepairingSequence(tuple(trunk))
+    state = partial.apply(database)
+    appended: list[Operation] = []
+    conflicting = sorted(
+        (g for g in state if g != fact and not constraints.pair_satisfies(fact, g)),
+        key=str,
+    )
+    for g in conflicting:
+        appended.append(Operation(frozenset((g,))))
+    image = RepairingSequence(tuple(trunk) + tuple(appended))
+    if not image.is_complete(database, constraints):
+        raise MappingError("mapped sequence failed to be complete (bug)")
+    if fact not in image.apply(database):
+        raise MappingError("mapped sequence does not keep the fact (bug)")
+    return MappedSequence(
+        original=sequence,
+        image=image,
+        replaced_operation=removing_operation,
+        appended_operations=tuple(appended),
+    )
+
+
+def uo_leaf_probability(
+    sequence: RepairingSequence, database: Database, constraints: FDSet
+) -> Fraction:
+    """``π(s)`` under ``M_uo``: the product of ``1/|Ops|`` along the path."""
+    probability = Fraction(1)
+    state = database
+    for operation in sequence:
+        available = justified_operations(state, constraints)
+        if operation not in available:
+            raise MappingError(f"{operation} is not justified on {state}")
+        probability /= len(available)
+        state = operation.apply(state)
+    return probability
+
+
+def max_conflicts_with_fact_bound(constraints: FDSet, fact: Fact) -> int:
+    """The ``k`` of the proof: keys over ``fact``'s relation bound the
+    number of facts a repair can keep in conflict with ``fact``.
+
+    (For non-key FDs no such bound exists — which is exactly why the
+    Lemma 7.4 argument, and hence Theorem 7.1(2), does not extend to FDs.)
+    """
+    if not constraints.all_keys():
+        raise MappingError("the conflict bound requires a set of keys")
+    return len(constraints.fds_over(fact.relation))

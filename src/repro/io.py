@@ -1,0 +1,173 @@
+"""Serialization: JSON instances and a text query syntax.
+
+Instance JSON format::
+
+    {
+      "schema": {"R": ["A", "B"]},
+      "facts":  [["R", "a1", "b1"], ["R", "a1", "b2"]],
+      "fds":    [["R", ["A"], ["B"]]]
+    }
+
+Query text format (variables start with ``?``; bare tokens are constants,
+parsed as ints when numeric)::
+
+    Ans(?x) :- R(?x, ?y), T(1)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Mapping
+
+from .core.database import Database
+from .core.dependencies import FDSet, FunctionalDependency
+from .core.facts import Constant, Fact
+from .core.queries import Atom, ConjunctiveQuery, QueryError, Variable
+from .core.schema import Schema
+
+
+class InstanceFormatError(ValueError):
+    """Raised for malformed instance documents or query strings."""
+
+
+# -- instances -----------------------------------------------------------------------
+
+
+def instance_from_dict(document: Mapping[str, Any]) -> tuple[Database, FDSet]:
+    """Parse an instance document into ``(Database, FDSet)``."""
+    try:
+        schema_spec = document["schema"]
+        fact_rows = document["facts"]
+        fd_rows = document["fds"]
+    except KeyError as missing:
+        raise InstanceFormatError(f"instance document lacks key {missing}") from None
+    schema = Schema.from_spec({name: list(attrs) for name, attrs in schema_spec.items()})
+    facts = []
+    for row in fact_rows:
+        if not isinstance(row, (list, tuple)) or len(row) < 2:
+            raise InstanceFormatError(f"malformed fact row {row!r}")
+        relation, *values = row
+        facts.append(Fact(str(relation), tuple(_freeze(v) for v in values)))
+    dependencies = []
+    for row in fd_rows:
+        if not isinstance(row, (list, tuple)) or len(row) != 3:
+            raise InstanceFormatError(f"malformed fd row {row!r}")
+        relation, lhs, rhs = row
+        dependencies.append(
+            FunctionalDependency(str(relation), frozenset(lhs), frozenset(rhs))
+        )
+    database = Database(facts, schema=schema)
+    return database, FDSet(schema, dependencies)
+
+
+def instance_to_dict(database: Database, constraints: FDSet) -> dict[str, Any]:
+    """Serialize ``(Database, FDSet)`` to the instance document format."""
+    schema = constraints.schema
+    return {
+        "schema": {rel.name: list(rel.attributes) for rel in schema},
+        "facts": [[f.relation, *f.values] for f in database.sorted_facts()],
+        "fds": [
+            [d.relation, sorted(d.lhs), sorted(d.rhs)] for d in constraints
+        ],
+    }
+
+
+def load_instance(path: str) -> tuple[Database, FDSet]:
+    """Load an instance from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return instance_from_dict(json.load(handle))
+
+
+def save_instance(path: str, database: Database, constraints: FDSet) -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(instance_to_dict(database, constraints), handle, indent=2)
+
+
+def _freeze(value: Any) -> Constant:
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+# -- queries --------------------------------------------------------------------------
+
+_QUERY_SHAPE = re.compile(r"^\s*Ans\s*\((?P<head>[^)]*)\)\s*:-\s*(?P<body>.+)$")
+_ATOM_SHAPE = re.compile(r"\s*(?P<relation>\w+)\s*\((?P<terms>[^)]*)\)\s*")
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse ``Ans(?x) :- R(?x, a), S(1)`` into a :class:`ConjunctiveQuery`."""
+    match = _QUERY_SHAPE.match(text)
+    if match is None:
+        raise InstanceFormatError(
+            f"query {text!r} does not match 'Ans(...) :- atom, atom, ...'"
+        )
+    head = [
+        _parse_term(token)
+        for token in _split_terms(match.group("head"))
+    ]
+    for term in head:
+        if not isinstance(term, Variable):
+            raise InstanceFormatError("answer positions must be ?variables")
+    atoms = []
+    rest = match.group("body")
+    position = 0
+    while position < len(rest):
+        atom_match = _ATOM_SHAPE.match(rest, position)
+        if atom_match is None:
+            raise InstanceFormatError(f"cannot parse atom at ...{rest[position:]!r}")
+        terms = tuple(
+            _parse_term(token) for token in _split_terms(atom_match.group("terms"))
+        )
+        if not terms:
+            raise InstanceFormatError("atoms need at least one term")
+        atoms.append(Atom(atom_match.group("relation"), terms))
+        position = atom_match.end()
+        if position < len(rest):
+            if rest[position] != ",":
+                raise InstanceFormatError(
+                    f"expected ',' between atoms at ...{rest[position:]!r}"
+                )
+            position += 1
+    try:
+        return ConjunctiveQuery(tuple(head), tuple(atoms))
+    except QueryError as error:
+        raise InstanceFormatError(str(error)) from None
+
+
+def format_query(query: ConjunctiveQuery) -> str:
+    """The inverse of :func:`parse_query` (up to whitespace)."""
+    head = ", ".join(f"?{v.name}" for v in query.answer_variables)
+    atoms = []
+    for atom in query.atoms:
+        terms = ", ".join(
+            f"?{t.name}" if isinstance(t, Variable) else str(t) for t in atom.terms
+        )
+        atoms.append(f"{atom.relation}({terms})")
+    return f"Ans({head}) :- " + ", ".join(atoms)
+
+
+def _split_terms(raw: str) -> list[str]:
+    stripped = raw.strip()
+    if not stripped:
+        return []
+    return [token.strip() for token in stripped.split(",")]
+
+
+def _parse_term(token: str) -> Variable | Constant:
+    if not token:
+        raise InstanceFormatError("empty term")
+    if token.startswith("?"):
+        name = token[1:]
+        if not name:
+            raise InstanceFormatError("variable needs a name after '?'")
+        return Variable(name)
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if (token.startswith("'") and token.endswith("'")) or (
+        token.startswith('"') and token.endswith('"')
+    ):
+        return token[1:-1]
+    return token

@@ -1,0 +1,132 @@
+"""The FD amplifier of Lemma 5.6 and the FPRAS-transfer algorithm.
+
+Given a set of keys ``Σ_K`` over ``{R/n}`` and a non-trivially
+``Σ_K``-connected database ``D``, the construction builds, over
+``R'/(n+2)`` with attributes ``(A, B, A1..An)``:
+
+* ``Σ_F`` — every key of ``Σ_K`` re-read as a (non-key) FD over ``R'``,
+  plus ``R' : A -> B``;
+* ``D_F`` — a copy ``R'(a, b, ā)`` of each fact plus the apex fact
+  ``f* = R'(a, a, ..., a)`` that conflicts with everything;
+* ``Q_F = Ans() :- R'(x, x, ..., x)`` — satisfied only by ``{f*}``.
+
+Then ``|CORep(D_F, Σ_F)| = |CORep(D, Σ_K)| + 1`` and
+``rrfreq_{Σ_F,Q_F}(D_F) = 1 / (|CORep(D, Σ_K)| + 1)``, so an FPRAS for
+``RRFreq`` over FDs would yield an FPRAS for counting repairs under keys —
+contradicting Proposition 5.5.  The transfer algorithm ``A`` (compute
+``ε' = ε/(2+ε)``, clamp the oracle output from below, return ``1/r − 1``)
+is implemented verbatim, as is its singleton-operation sibling (Lemma E.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable
+
+from ..core.database import Database
+from ..core.dependencies import FDSet, FunctionalDependency, fd
+from ..core.facts import Fact
+from ..core.queries import ConjunctiveQuery, Atom, Variable, boolean_cq
+from ..core.schema import Schema
+
+APEX_MARKER = "amplifier_apex"
+
+
+@dataclass(frozen=True)
+class AmplifiedInstance:
+    """``(D_F, Σ_F, Q_F)`` together with the apex fact ``f*``."""
+
+    database: Database
+    constraints: FDSet
+    query: ConjunctiveQuery
+    apex: Fact
+
+
+def amplify(database: Database, constraints: FDSet) -> AmplifiedInstance:
+    """Build ``(D_F, Σ_F, Q_F)`` from a keys instance over one relation.
+
+    ``database`` must be over a single relation carrying all of ``Σ_K``.
+    The fresh constants ``a``/``b`` use a marker outside ``dom(D)``.
+    """
+    relations = {dependency.relation for dependency in constraints}
+    if len(relations) != 1:
+        raise ValueError("the amplifier expects keys over a single relation")
+    if not constraints.all_keys():
+        raise ValueError("the amplifier expects a set of keys")
+    relation = relations.pop()
+    base = constraints.schema.relation(relation)
+    if database.relation_names() - {relation}:
+        raise ValueError("the database must live over the keyed relation only")
+    new_relation = f"{relation}_F"
+    attributes = ["A", "B"] + [f"{name}_" for name in base.attributes]
+    schema = Schema.from_spec({new_relation: attributes})
+    lifted = [
+        FunctionalDependency(
+            new_relation,
+            frozenset(f"{name}_" for name in dependency.lhs),
+            frozenset(f"{name}_" for name in dependency.rhs),
+        )
+        for dependency in constraints
+    ]
+    lifted.append(fd(new_relation, "A", "B"))
+    constraints_f = FDSet(schema, lifted)
+    a = (APEX_MARKER, "a")
+    b = (APEX_MARKER, "b")
+    facts = [Fact(new_relation, (a, b) + f.values) for f in database]
+    apex = Fact(new_relation, (a,) * (base.arity + 2))
+    facts.append(apex)
+    x = Variable("x")
+    query = boolean_cq(Atom(new_relation, (x,) * (base.arity + 2)))
+    return AmplifiedInstance(
+        database=Database(facts, schema=schema),
+        constraints=constraints_f,
+        query=query,
+        apex=apex,
+    )
+
+
+RRFreqOracle = Callable[[Database, FDSet, ConjunctiveQuery, tuple], float]
+
+
+def repair_count_via_rrfreq(
+    database: Database,
+    constraints: FDSet,
+    oracle: RRFreqOracle,
+    epsilon: float = 0.2,
+    delta: float = 0.05,
+) -> Fraction:
+    """Lemma 5.6's algorithm ``A``: estimate ``|CORep(D, Σ_K)|``.
+
+    ``oracle(D_F, Σ_F, Q_F, ())`` must behave as an (ε', δ) relative
+    approximation of ``rrfreq`` with ``ε' = ε / (2 + ε)``; the algorithm
+    then returns an (ε, δ) relative approximation of the repair count.
+    Plugging in the exact ``rrfreq`` recovers the count exactly, which is
+    how the tests validate the arithmetic of the transfer.  ``epsilon``
+    fixes the clamping floor (step 3 of algorithm A); ``delta`` is carried
+    by the oracle's own guarantee and is listed here to document the
+    contract.
+    """
+    amplified = amplify(database, constraints)
+    epsilon_prime = epsilon / (2.0 + epsilon)
+    raw = oracle(amplified.database, amplified.constraints, amplified.query, ())
+    floor = Fraction(1 - Fraction(epsilon_prime).limit_denominator(10**9)) / (
+        2 * (1 + 2 ** len(database))
+    )
+    clamped = max(Fraction(raw).limit_denominator(10**12), floor)
+    return 1 / clamped - 1
+
+
+def singleton_repair_count_via_rrfreq1(
+    database: Database,
+    constraints: FDSet,
+    oracle: RRFreqOracle,
+    epsilon: float = 0.2,
+    delta: float = 0.05,
+) -> Fraction:
+    """Lemma E.7's variant: ``|CORep¹(D, Σ_K)|`` via a ``rrfreq¹`` oracle.
+
+    The construction is the same amplifier; only the oracle semantics
+    (singleton-operation repairs) differ.
+    """
+    return repair_count_via_rrfreq(database, constraints, oracle, epsilon, delta)

@@ -1,0 +1,230 @@
+"""Minimal undirected-graph substrate for the hardness reductions.
+
+Nodes are arbitrary hashables; an edge is a frozenset of one node (a self
+loop, needed by the ♯H-Coloring target graph) or two nodes.  Only the small
+amount of graph theory the reductions require lives here: degrees,
+connectivity, homomorphism counting, and independent-set counting for
+loop-free graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Node = Hashable
+Edge = frozenset
+
+
+@dataclass(frozen=True)
+class UndirectedGraph:
+    """An immutable undirected graph, possibly with self loops."""
+
+    nodes: tuple[Node, ...]
+    edges: frozenset[Edge]
+
+    def __post_init__(self) -> None:
+        node_set = set(self.nodes)
+        if len(node_set) != len(self.nodes):
+            raise ValueError("duplicate nodes")
+        for edge in self.edges:
+            if not 1 <= len(edge) <= 2:
+                raise ValueError(f"malformed edge {set(edge)}")
+            if not edge <= node_set:
+                raise ValueError(f"edge {set(edge)} mentions unknown nodes")
+
+    @classmethod
+    def of(cls, nodes: Iterable[Node], edges: Iterable[tuple[Node, Node]]) -> "UndirectedGraph":
+        """Build from node iterable and (u, v) pairs; ``u == v`` is a loop."""
+        return cls(tuple(nodes), frozenset(frozenset((u, v)) for u, v in edges))
+
+    # -- structure ----------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return frozenset((u, v)) in self.edges
+
+    def has_loop(self, u: Node) -> bool:
+        return frozenset((u,)) in self.edges
+
+    def loop_free(self) -> bool:
+        return all(len(edge) == 2 for edge in self.edges)
+
+    def neighbours(self, u: Node) -> frozenset[Node]:
+        """Adjacent nodes; a loop makes ``u`` its own neighbour."""
+        found = set()
+        for edge in self.edges:
+            if u in edge:
+                found.update(edge if len(edge) == 2 else (u,))
+        found_other = {v for v in found if v != u}
+        if self.has_loop(u):
+            found_other.add(u)
+        return frozenset(found_other)
+
+    def degree(self, u: Node) -> int:
+        """Number of edges incident to ``u`` (a loop counts once)."""
+        return sum(1 for edge in self.edges if u in edge)
+
+    def max_degree(self) -> int:
+        if not self.nodes:
+            return 0
+        return max(self.degree(u) for u in self.nodes)
+
+    def adjacency(self) -> dict[Node, frozenset[Node]]:
+        return {u: self.neighbours(u) for u in self.nodes}
+
+    # -- connectivity ---------------------------------------------------------------
+
+    def connected_components(self) -> list[frozenset[Node]]:
+        remaining = set(self.nodes)
+        components = []
+        for start in self.nodes:
+            if start not in remaining:
+                continue
+            component = {start}
+            frontier = [start]
+            remaining.discard(start)
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self.neighbours(current):
+                    if neighbour in remaining:
+                        remaining.discard(neighbour)
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(frozenset(component))
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    def is_nontrivially_connected(self) -> bool:
+        """At least two nodes and connected (Section 5's notion)."""
+        return self.node_count() >= 2 and self.is_connected()
+
+    # -- homomorphisms -----------------------------------------------------------------
+
+    def homomorphisms_to(self, target: "UndirectedGraph") -> Iterator[dict[Node, Node]]:
+        """All homomorphisms from ``self`` (loop-free) into ``target``.
+
+        A mapping ``h`` qualifies when every edge ``{u, v}`` of ``self`` has
+        ``{h(u), h(v)}`` an edge of ``target`` (a loop when ``h(u) = h(v)``).
+        Backtracking over nodes, checking edges into the assigned prefix.
+        """
+        order = list(self.nodes)
+        assignment: dict[Node, Node] = {}
+
+        def compatible(u: Node, image: Node) -> bool:
+            for v in self.neighbours(u):
+                if v == u:
+                    if not target.has_loop(image):
+                        return False
+                elif v in assignment:
+                    image_edge = (
+                        frozenset((image, assignment[v]))
+                        if image != assignment[v]
+                        else frozenset((image,))
+                    )
+                    if image_edge not in target.edges:
+                        return False
+            return True
+
+        def extend(position: int) -> Iterator[dict[Node, Node]]:
+            if position == len(order):
+                yield dict(assignment)
+                return
+            u = order[position]
+            for image in target.nodes:
+                if compatible(u, image):
+                    assignment[u] = image
+                    yield from extend(position + 1)
+                    del assignment[u]
+
+        yield from extend(0)
+
+    def count_homomorphisms_to(self, target: "UndirectedGraph") -> int:
+        """``|hom(self, target)|`` by exhaustive backtracking."""
+        return sum(1 for _ in self.homomorphisms_to(target))
+
+    # -- independent sets ------------------------------------------------------------------
+
+    def count_independent_sets(self) -> int:
+        """``|IS(G)|`` for loop-free graphs, by branch-and-memoize."""
+        if not self.loop_free():
+            raise ValueError("independent sets are defined for loop-free graphs here")
+        adjacency = self.adjacency()
+        cache: dict[frozenset[Node], int] = {}
+        order = list(self.nodes)
+
+        def count(available: frozenset[Node]) -> int:
+            if available in cache:
+                return cache[available]
+            pick = next((u for u in order if u in available), None)
+            if pick is None:
+                result = 1
+            else:
+                without = available - {pick}
+                result = count(without) + count(without - adjacency[pick])
+            cache[available] = result
+            return result
+
+        return count(frozenset(self.nodes))
+
+    def count_nonempty_independent_sets(self) -> int:
+        """``|IS≠∅(G)|`` (Lemma E.6's quantity)."""
+        return self.count_independent_sets() - 1
+
+    def independent_sets(self) -> Iterator[frozenset[Node]]:
+        """Enumerate all independent sets (loop-free graphs)."""
+        if not self.loop_free():
+            raise ValueError("independent sets are defined for loop-free graphs here")
+        adjacency = self.adjacency()
+        order = list(self.nodes)
+
+        def recurse(available: frozenset[Node]) -> Iterator[frozenset[Node]]:
+            pick = next((u for u in order if u in available), None)
+            if pick is None:
+                yield frozenset()
+                return
+            without = available - {pick}
+            yield from recurse(without)
+            for inner in recurse(without - adjacency[pick]):
+                yield inner | {pick}
+
+        yield from recurse(frozenset(self.nodes))
+
+
+def path_graph(n: int) -> UndirectedGraph:
+    """The path ``P_n`` on nodes ``0..n-1``."""
+    return UndirectedGraph.of(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> UndirectedGraph:
+    """The cycle ``C_n`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least three nodes")
+    return UndirectedGraph.of(range(n), [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> UndirectedGraph:
+    """The clique ``K_n``."""
+    return UndirectedGraph.of(
+        range(n), [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def star_graph(n: int) -> UndirectedGraph:
+    """A star: centre ``0`` joined to ``1..n``."""
+    return UndirectedGraph.of(range(n + 1), [(0, i) for i in range(1, n + 1)])
+
+
+def relabel(graph: UndirectedGraph, mapping: Mapping[Node, Node]) -> UndirectedGraph:
+    """A copy of ``graph`` with nodes renamed through ``mapping``."""
+    return UndirectedGraph(
+        tuple(mapping[u] for u in graph.nodes),
+        frozenset(frozenset(mapping[u] for u in edge) for edge in graph.edges),
+    )

@@ -1,0 +1,81 @@
+"""Proposition D.6's family: exponentially small ``M_uo`` probabilities.
+
+``D_n`` holds ``R(0, 0, 0)`` plus ``n − 1`` facts ``R(0, 1, i)``, with
+``Σ = {R : A1 -> A2}`` (a non-key FD) and the atomic query
+``Q = Ans() :- R(0, 0, 0)``.  Every ``R(0, 1, i)`` conflicts with
+``R(0, 0, 0)`` and with nothing else, so keeping the centre requires the
+walk to pick, at every step, one of the ``p`` singleton removals of spoke
+facts out of ``1 + 2p`` justified operations (remove centre, remove a spoke,
+or remove a centre+spoke pair).  Hence
+
+``P_{M_uo,Q}(D_n, ()) = Π_{j=1}^{n-1} j / (2j + 1)  <  1 / 2^{n-1}``,
+
+which is why Monte Carlo cannot give an FPRAS for ``M_uo`` with FDs: the
+walk almost never sees the event whose probability it must estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.database import Database
+from ..core.dependencies import FDSet, fd
+from ..core.facts import Fact, fact
+from ..core.queries import Atom, ConjunctiveQuery, boolean_cq
+from ..core.schema import Schema
+
+
+@dataclass(frozen=True)
+class PathologicalInstance:
+    """``(D_n, Σ, Q)`` with the centre fact exposed."""
+
+    n: int
+    database: Database
+    constraints: FDSet
+    query: ConjunctiveQuery
+    centre: Fact
+
+
+def pathological_schema() -> Schema:
+    """The fixed schema ``{R/3}`` with attributes ``A1, A2, A3``."""
+    return Schema.from_spec({"R": ["A1", "A2", "A3"]})
+
+
+def pathological_instance(n: int) -> PathologicalInstance:
+    """Build ``D_n`` (``n >= 1`` facts)."""
+    if n < 1:
+        raise ValueError("the family D_n is defined for n >= 1")
+    schema = pathological_schema()
+    centre = fact("R", 0, 0, 0)
+    facts = [centre] + [fact("R", 0, 1, i) for i in range(1, n)]
+    return PathologicalInstance(
+        n=n,
+        database=Database(facts, schema=schema),
+        constraints=FDSet(schema, [fd("R", "A1", "A2")]),
+        query=boolean_cq(Atom("R", (0, 0, 0))),
+        centre=centre,
+    )
+
+
+def exact_centre_probability(n: int) -> Fraction:
+    """Closed-form ``P_{M_uo,Q}(D_n, ()) = Π_{j=1}^{n-1} j / (2j + 1)``.
+
+    Derivation: with ``p`` spokes left, ``1 + 2p`` operations are justified
+    and exactly the ``p`` spoke-singleton removals keep the centre alive;
+    each leaves ``p − 1`` spokes.  Telescoping from ``p = n − 1`` down to 0
+    gives the product.  Cross-checked against the state-space DP in tests.
+    """
+    if n < 1:
+        raise ValueError("the family D_n is defined for n >= 1")
+    probability = Fraction(1)
+    for j in range(1, n):
+        probability *= Fraction(j, 2 * j + 1)
+    return probability
+
+
+def proposition_d6_upper_bound(n: int) -> Fraction:
+    """The bound ``1 / 2^{n-1}`` stated by Proposition D.6."""
+    if n < 1:
+        raise ValueError("the family D_n is defined for n >= 1")
+    return Fraction(1, 2 ** (n - 1))

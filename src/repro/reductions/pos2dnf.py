@@ -1,0 +1,150 @@
+"""The ♯Pos2DNF reduction for singleton operations (Appendix E).
+
+Counting satisfying assignments of positive 2DNF formulas is ♯P-hard
+(Provan–Ball).  Appendix E reduces it to ``RRFreq¹(Σ, Q)`` (Theorem E.1(1)),
+``SRFreq¹`` (Theorem E.8(1)) and ``OCQA(Σ, M_uo,1, Q)`` (Theorem E.11) via
+
+``Σ = {V : A -> B}``  and  ``Q = Ans() :- C(x, y), V(x, z), V(y, z), T(z)``
+
+over ``D_φ`` holding ``V(c_x, 0), V(c_x, 1)`` per variable and ``C`` facts
+per clause.  With singleton removals, repairs keep exactly one ``V``-fact per
+variable, i.e. they *are* truth assignments, and
+
+``rrfreq¹ = srfreq¹ = P_{M_uo,1,Q} = |sat(φ)| / 2^{|var(φ)|}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Callable, Iterator
+
+from ..core.database import Database
+from ..core.dependencies import FDSet, fd
+from ..core.facts import Fact, fact
+from ..core.queries import ConjunctiveQuery, atom, boolean_cq, var
+from ..core.schema import Schema
+
+
+@dataclass(frozen=True)
+class Pos2DNF:
+    """A positive 2DNF formula: a disjunction of two-variable conjunctions."""
+
+    clauses: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise ValueError("a positive 2DNF formula needs at least one clause")
+        normalized = tuple(tuple(clause) for clause in self.clauses)
+        object.__setattr__(self, "clauses", normalized)
+
+    def variables(self) -> tuple[str, ...]:
+        """``var(φ)`` in first-appearance order."""
+        seen: list[str] = []
+        for first, second in self.clauses:
+            for name in (first, second):
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def evaluate(self, assignment: dict[str, int]) -> bool:
+        """Whether the assignment satisfies some clause."""
+        return any(
+            assignment[first] == 1 and assignment[second] == 1
+            for first, second in self.clauses
+        )
+
+    def assignments(self) -> Iterator[dict[str, int]]:
+        names = self.variables()
+        for values in product((0, 1), repeat=len(names)):
+            yield dict(zip(names, values))
+
+    def count_satisfying(self) -> int:
+        """``|sat(φ)|`` by brute force (exponential; ground truth in tests)."""
+        return sum(1 for assignment in self.assignments() if self.evaluate(assignment))
+
+    def __str__(self) -> str:
+        return " v ".join(f"({first} & {second})" for first, second in self.clauses)
+
+
+@dataclass(frozen=True)
+class Pos2DNFInstance:
+    """The OCQA instance ``(D_φ, Σ, Q)`` encoding a formula."""
+
+    formula: Pos2DNF
+    database: Database
+    constraints: FDSet
+    query: ConjunctiveQuery
+
+    def singleton_repair_space_size(self) -> int:
+        """``2^{|var(φ)|}``: the number of singleton-operation repairs."""
+        return 2 ** len(self.formula.variables())
+
+
+def pos2dnf_schema() -> Schema:
+    """The fixed schema ``{V/2, C/2, T/1}``."""
+    return Schema.from_spec({"V": ["A", "B"], "C": ["A", "B"], "T": ["A"]})
+
+
+def pos2dnf_constraints(schema: Schema | None = None) -> FDSet:
+    """``Σ = {V : A -> B}``."""
+    return FDSet(schema or pos2dnf_schema(), [fd("V", "A", "B")])
+
+
+def pos2dnf_query() -> ConjunctiveQuery:
+    """``Q = Ans() :- C(x, y), V(x, z), V(y, z), T(z)``."""
+    x, y, z = var("x"), var("y"), var("z")
+    return boolean_cq(
+        atom("C", x, y), atom("V", x, z), atom("V", y, z), atom("T", z)
+    )
+
+
+def pos2dnf_instance(formula: Pos2DNF) -> Pos2DNFInstance:
+    """Build ``D_φ`` for a positive 2DNF formula."""
+    schema = pos2dnf_schema()
+    facts: list[Fact] = [fact("T", 1)]
+    for name in formula.variables():
+        facts.append(fact("V", f"c_{name}", 0))
+        facts.append(fact("V", f"c_{name}", 1))
+    for first, second in formula.clauses:
+        facts.append(fact("C", f"c_{first}", f"c_{second}"))
+    return Pos2DNFInstance(
+        formula=formula,
+        database=Database(facts, schema=schema),
+        constraints=pos2dnf_constraints(schema),
+        query=pos2dnf_query(),
+    )
+
+
+RRFreq1Oracle = Callable[[Database, tuple], Fraction]
+
+
+def sat_count_via_oracle(formula: Pos2DNF, oracle: RRFreq1Oracle) -> int:
+    """The ``SAT`` algorithm of Appendix E.1: ``2^{|var(φ)|} · r``.
+
+    ``oracle`` plays the ``RRFreq¹(Σ, Q)`` oracle of the Turing reduction;
+    exact oracles recover ``|sat(φ)|`` exactly.
+    """
+    instance = pos2dnf_instance(formula)
+    ratio = oracle(instance.database, ())
+    value = instance.singleton_repair_space_size() * Fraction(ratio)
+    if value.denominator != 1:
+        raise ValueError(
+            "oracle returned a ratio incompatible with the 2^|var| repair space"
+        )
+    return int(value)
+
+
+def repair_to_assignment(
+    instance: Pos2DNFInstance, repair: Database
+) -> dict[str, int]:
+    """The truth assignment a singleton-operation repair encodes."""
+    assignment: dict[str, int] = {}
+    for name in instance.formula.variables():
+        keeps_one = fact("V", f"c_{name}", 1) in repair
+        keeps_zero = fact("V", f"c_{name}", 0) in repair
+        if keeps_one == keeps_zero:
+            raise ValueError("not a singleton repair: each variable keeps one V-fact")
+        assignment[name] = 1 if keeps_one else 0
+    return assignment

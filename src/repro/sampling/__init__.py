@@ -1,0 +1,23 @@
+"""Polynomial-time samplers (Lemmas 5.2, 6.2, 7.2, E.2, E.9, D.7)."""
+
+from .operations_sampler import (
+    UniformOperationsSampler,
+    WalkResult,
+    sample_uniform_operations_repair,
+)
+from .repair_sampler import RepairSampler, sample_candidate_repair
+from .rng import resolve_rng, uniform_choice, weighted_choice
+from .sequence_sampler import SequenceSampler, sample_complete_sequence
+
+__all__ = [
+    "RepairSampler",
+    "SequenceSampler",
+    "UniformOperationsSampler",
+    "WalkResult",
+    "resolve_rng",
+    "sample_candidate_repair",
+    "sample_complete_sequence",
+    "sample_uniform_operations_repair",
+    "uniform_choice",
+    "weighted_choice",
+]

@@ -1,0 +1,46 @@
+"""Random-number utilities shared by the samplers.
+
+All samplers take an optional :class:`random.Random`; passing a seeded
+instance makes every experiment reproducible.  ``weighted_choice`` works on
+exact integer weights so that sampling distributions match the paper's
+rational transition probabilities with no floating-point drift.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def resolve_rng(rng: random.Random | None) -> random.Random:
+    """The given generator, or a fresh unseeded one."""
+    return rng if rng is not None else random.Random()
+
+
+def weighted_choice(items: Sequence[T], weights: Sequence[int], rng: random.Random) -> T:
+    """Choose ``items[i]`` with probability ``weights[i] / sum(weights)``.
+
+    Weights are exact non-negative integers (e.g. subtree sequence counts),
+    so the induced distribution is exactly the intended rational one.
+    """
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    pick = rng.randrange(total)
+    cumulative = 0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if pick < cumulative:
+            return item
+    raise AssertionError("unreachable: weights exhausted")  # pragma: no cover
+
+
+def uniform_choice(items: Sequence[T], rng: random.Random) -> T:
+    """Choose uniformly among ``items`` (which must be non-empty)."""
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    return items[rng.randrange(len(items))]

@@ -1,0 +1,52 @@
+"""Synthetic workload generators for examples, tests and benches."""
+
+from .generators import (
+    Workload,
+    block_database,
+    block_membership_query,
+    block_pair_query,
+    fd_star_database,
+    figure2_database,
+    multikey_database,
+    random_block_database,
+    random_pos2dnf,
+    star_centre_query,
+)
+from .graphs import (
+    random_bounded_degree_graph,
+    random_connected_bounded_degree_graph,
+    random_connected_graph,
+    random_graph,
+)
+from .inconsistency import achieved_inconsistency_ratio, database_with_inconsistency
+from .scenarios import (
+    IntegrationScenario,
+    OrdersScenario,
+    intro_example,
+    merged_sources,
+    orders_scenario,
+)
+
+__all__ = [
+    "IntegrationScenario",
+    "OrdersScenario",
+    "achieved_inconsistency_ratio",
+    "database_with_inconsistency",
+    "Workload",
+    "block_database",
+    "block_membership_query",
+    "block_pair_query",
+    "fd_star_database",
+    "figure2_database",
+    "intro_example",
+    "merged_sources",
+    "orders_scenario",
+    "multikey_database",
+    "random_block_database",
+    "random_bounded_degree_graph",
+    "random_connected_bounded_degree_graph",
+    "random_connected_graph",
+    "random_graph",
+    "random_pos2dnf",
+    "star_centre_query",
+]

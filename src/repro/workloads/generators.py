@@ -1,0 +1,148 @@
+"""Synthetic database workloads.
+
+Instance families used across the examples, tests and benches:
+
+* *block databases* — one relation with a primary key; conflicts form
+  blocks of configurable sizes (the Sections 5/6 setting);
+* *multi-key databases* — one relation with several keys, built from
+  bounded-degree graphs through the Prop 5.5 encoding (the Section 7
+  setting, conflict structure strictly richer than blocks);
+* *FD star databases* — a non-key FD with star-shaped conflicts, scaling
+  the Prop D.6 pathology;
+* *random 2DNF formulas* — inputs for the Appendix E reduction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.database import Database
+from ..core.dependencies import FDSet, fd
+from ..core.facts import fact
+from ..core.queries import ConjunctiveQuery, Variable, atom, cq
+from ..core.schema import Schema
+from ..reductions.pos2dnf import Pos2DNF
+from ..reductions.vizing import VizingInstance, independent_set_database
+from ..sampling.rng import resolve_rng
+from .graphs import random_connected_bounded_degree_graph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated instance: database, constraints, and a natural query."""
+
+    database: Database
+    constraints: FDSet
+    query: ConjunctiveQuery
+    description: str
+
+
+def block_database(block_sizes: list[int] | tuple[int, ...]) -> tuple[Database, FDSet]:
+    """A relation ``R(A1, A2)`` with primary key ``A1`` and given block sizes.
+
+    Block ``i`` holds facts ``R(a_i, b_0) .. R(a_i, b_{m-1})`` — the shape of
+    Figure 2 (whose sizes are ``(3, 1, 2)``).
+    """
+    schema = Schema.from_spec({"R": ["A1", "A2"]})
+    constraints = FDSet(schema, [fd("R", "A1", "A2")])
+    facts = [
+        fact("R", f"a{i}", f"b{j}")
+        for i, size in enumerate(block_sizes)
+        for j in range(size)
+    ]
+    return Database(facts, schema=schema), constraints
+
+
+def figure2_database() -> tuple[Database, FDSet]:
+    """The exact database of Figure 2 (blocks ``{a1: 3, a2: 1, a3: 2}``)."""
+    schema = Schema.from_spec({"R": ["A1", "A2"]})
+    constraints = FDSet(schema, [fd("R", "A1", "A2")])
+    facts = [
+        fact("R", "a1", "b1"),
+        fact("R", "a1", "b2"),
+        fact("R", "a1", "b3"),
+        fact("R", "a2", "b1"),
+        fact("R", "a3", "b1"),
+        fact("R", "a3", "b2"),
+    ]
+    return Database(facts, schema=schema), constraints
+
+
+def random_block_database(
+    n_blocks: int,
+    max_block_size: int,
+    rng: random.Random | None = None,
+    min_block_size: int = 1,
+) -> tuple[Database, FDSet]:
+    """Random block sizes in ``[min, max]`` (primary-key workload)."""
+    rng = resolve_rng(rng)
+    sizes = [rng.randint(min_block_size, max_block_size) for _ in range(n_blocks)]
+    return block_database(sizes)
+
+
+def block_membership_query() -> ConjunctiveQuery:
+    """``Ans(x) :- R(x, y)``: which key groups survive, with what probability."""
+    x, y = Variable("x"), Variable("y")
+    return cq((x,), (atom("R", x, y),))
+
+
+def block_pair_query() -> ConjunctiveQuery:
+    """``Ans() :- R(x, y), R(z, y)``: a Boolean join across blocks."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return cq((), (atom("R", x, y), atom("R", z, y)))
+
+
+def multikey_database(
+    n_nodes: int,
+    max_degree: int = 3,
+    rng: random.Random | None = None,
+) -> VizingInstance:
+    """An arbitrary-keys workload via the Prop 5.5 graph encoding.
+
+    The conflict graph is a random connected degree-bounded graph, giving
+    conflict structure no primary-key instance can express.
+    """
+    rng = resolve_rng(rng)
+    graph = random_connected_bounded_degree_graph(n_nodes, max_degree, rng)
+    return independent_set_database(graph)
+
+
+def fd_star_database(
+    n_stars: int, spokes_per_star: int
+) -> tuple[Database, FDSet]:
+    """Non-key FD ``R : A1 -> A2`` with ``n_stars`` independent stars.
+
+    Each star is a Prop D.6 gadget: one centre ``R(s, 0, 0)`` conflicting
+    with ``spokes_per_star`` spokes ``R(s, 1, i)``; spokes do not conflict
+    with one another.
+    """
+    schema = Schema.from_spec({"R": ["A1", "A2", "A3"]})
+    constraints = FDSet(schema, [fd("R", "A1", "A2")])
+    facts = []
+    for star in range(n_stars):
+        facts.append(fact("R", f"s{star}", 0, 0))
+        facts.extend(
+            fact("R", f"s{star}", 1, i) for i in range(1, spokes_per_star + 1)
+        )
+    return Database(facts, schema=schema), constraints
+
+
+def star_centre_query() -> ConjunctiveQuery:
+    """``Ans(x) :- R(x, 0, 0)``: which star centres survive."""
+    x = Variable("x")
+    return cq((x,), (atom("R", x, 0, 0),))
+
+
+def random_pos2dnf(
+    n_variables: int, n_clauses: int, rng: random.Random | None = None
+) -> Pos2DNF:
+    """A random positive 2DNF formula over ``x0..x{n-1}``."""
+    rng = resolve_rng(rng)
+    if n_variables < 2:
+        raise ValueError("need at least two variables for binary clauses")
+    clauses = []
+    for _ in range(n_clauses):
+        first, second = rng.sample(range(n_variables), 2)
+        clauses.append((f"x{first}", f"x{second}"))
+    return Pos2DNF(tuple(clauses))

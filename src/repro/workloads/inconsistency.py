@@ -1,0 +1,87 @@
+"""Workloads with controlled inconsistency, in the style of the CQA
+benchmarking literature the paper cites ([4]: "Benchmarking Approximate
+Consistent Query Answering").
+
+That line of work parameterizes synthetic instances by an *inconsistency
+ratio* — the fraction of facts involved in at least one conflict — and by
+the conflict shape (block sizes).  :func:`database_with_inconsistency`
+produces primary-key instances hitting a target ratio exactly, which the
+scaling benches and the analysis module consume.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.database import Database
+from ..core.dependencies import FDSet, fd
+from ..core.facts import fact
+from ..core.schema import Schema
+from ..sampling.rng import resolve_rng
+
+
+def database_with_inconsistency(
+    n_facts: int,
+    inconsistency_ratio: float,
+    block_size: int = 2,
+    rng: random.Random | None = None,
+) -> tuple[Database, FDSet]:
+    """A primary-key instance with an exact target inconsistency ratio.
+
+    ``inconsistency_ratio`` is the fraction of facts that participate in a
+    conflict; conflicting facts are grouped into blocks of ``block_size``
+    (the last conflicting block may be smaller but never below two facts).
+    The remaining facts are conflict-free singleton blocks.
+
+    The achievable ratios are quantized by ``n_facts`` (at least two
+    conflicting facts are needed for any inconsistency); the generator
+    rounds to the nearest achievable count and never exceeds the target by
+    more than one fact.
+    """
+    if not 0.0 <= inconsistency_ratio <= 1.0:
+        raise ValueError("inconsistency_ratio must lie in [0, 1]")
+    if n_facts < 1:
+        raise ValueError("need at least one fact")
+    if block_size < 2:
+        raise ValueError("conflicting blocks need at least two facts")
+    rng = resolve_rng(rng)
+    schema = Schema.from_spec({"R": ["A1", "A2"]})
+    constraints = FDSet(schema, [fd("R", "A1", "A2")])
+
+    conflicting = round(n_facts * inconsistency_ratio)
+    if conflicting == 1:
+        conflicting = 2 if inconsistency_ratio > 0.5 / n_facts else 0
+    conflicting = min(conflicting, n_facts)
+    if conflicting == n_facts - 1:
+        # A single leftover clean fact is fine; but a leftover conflicting
+        # "block" of one is not a conflict, so fold counts below two.
+        pass
+
+    facts = []
+    block_index = 0
+    remaining = conflicting
+    while remaining >= 2:
+        size = min(block_size, remaining)
+        if remaining - size == 1:
+            size += 1 if size < remaining else 0
+            size = min(size, remaining)
+            if remaining - size == 1:
+                size = remaining  # avoid stranding a single conflicting fact
+        for member in range(size):
+            facts.append(fact("R", f"c{block_index}", f"v{member}"))
+        remaining -= size
+        block_index += 1
+    clean_needed = n_facts - len(facts)
+    for index in range(clean_needed):
+        facts.append(fact("R", f"clean{index}", "v0"))
+    database = Database(facts, schema=schema)
+    return database, constraints
+
+
+def achieved_inconsistency_ratio(database: Database, constraints: FDSet) -> float:
+    """The fraction of facts in at least one conflict (for verification)."""
+    from ..core.violations import facts_in_violation
+
+    if len(database) == 0:
+        return 0.0
+    return len(facts_in_violation(database, constraints)) / len(database)

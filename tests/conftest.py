@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's worked examples as reusable instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Database, FDSet, Schema, fact, fd
+from repro.workloads import figure2_database
+
+
+@pytest.fixture
+def running_example():
+    """Example 3.6: D = {f1, f2, f3}, Σ = {R: A -> B, R: C -> B}.
+
+    Returns ``(database, constraints, (f1, f2, f3))``.
+    """
+    schema = Schema.from_spec({"R": ["A", "B", "C"]})
+    f1 = fact("R", "a1", "b1", "c1")
+    f2 = fact("R", "a1", "b2", "c2")
+    f3 = fact("R", "a2", "b1", "c2")
+    database = Database([f1, f2, f3], schema=schema)
+    constraints = FDSet(schema, [fd("R", "A", "B"), fd("R", "C", "B")])
+    return database, constraints, (f1, f2, f3)
+
+
+@pytest.fixture
+def figure2():
+    """Figure 2: six facts over R/2, primary key A1 -> A2; blocks (3, 1, 2)."""
+    return figure2_database()
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded RNG for sampler tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def two_fact_conflict():
+    """The intro's Emp example: two facts jointly violating a key."""
+    schema = Schema.from_spec({"Emp": ["id", "name"]})
+    alice = fact("Emp", 1, "Alice")
+    tom = fact("Emp", 1, "Tom")
+    database = Database([alice, tom], schema=schema)
+    constraints = FDSet(schema, [fd("Emp", "id", "name")])
+    return database, constraints, (alice, tom)

@@ -1,0 +1,78 @@
+"""Tests for the aggregate diagnostics: expected answer counts and lengths."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import expected_answer_count
+from repro.chains.generators import M_UO, M_UR, M_US
+from repro.core.queries import atom, cq, var
+from repro.counting import expected_sequence_length
+from repro.cqa import operational_consistent_answers
+from repro.exact import complete_sequences
+from repro.workloads import block_database, figure2_database
+
+x, y = var("x"), var("y")
+
+
+class TestExpectedAnswerCount:
+    def test_linearity_identity(self, figure2):
+        """E[|Q(D')|] equals the sum of per-answer probabilities."""
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, y),))
+        for generator in (M_UR, M_US, M_UO):
+            expected = expected_answer_count(database, constraints, generator, query)
+            rows = operational_consistent_answers(
+                database, constraints, generator, query
+            )
+            assert expected == sum(
+                (Fraction(row.probability) for row in rows), Fraction(0)
+            ), generator.name
+
+    def test_figure2_value_under_mur(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, y),))
+        # 3/4 + 1 + 2/3 = 29/12 expected surviving key groups.
+        assert expected_answer_count(
+            database, constraints, M_UR, query
+        ) == Fraction(29, 12)
+
+    def test_boolean_query_equals_probability(self, figure2):
+        from repro.core.queries import boolean_cq
+        from repro.exact import exact_ocqa
+
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        assert expected_answer_count(
+            database, constraints, M_UR, query
+        ) == exact_ocqa(database, constraints, M_UR, query)
+
+
+class TestExpectedSequenceLength:
+    def test_figure2_value(self, figure2):
+        database, constraints = figure2
+        assert expected_sequence_length(database, constraints) == Fraction(31, 11)
+
+    @pytest.mark.parametrize("sizes", [(2,), (3,), (2, 2), (3, 2)])
+    def test_matches_bruteforce(self, sizes):
+        database, constraints = block_database(list(sizes))
+        lengths = [len(s) for s, _ in complete_sequences(database, constraints)]
+        assert expected_sequence_length(database, constraints) == Fraction(
+            sum(lengths), len(lengths)
+        )
+
+    def test_consistent_database_zero_length(self):
+        database, constraints = block_database([1, 1])
+        assert expected_sequence_length(database, constraints) == 0
+
+    def test_bounded_by_database_size(self, figure2):
+        database, constraints = figure2
+        value = expected_sequence_length(database, constraints)
+        assert 0 < value <= len(database)
+
+    def test_polynomial_at_scale(self):
+        database, constraints = block_database([5] * 40)
+        value = expected_sequence_length(database, constraints)
+        # Each block of 5 contributes between 2 (two pair removals... at
+        # least ceil(4/2)=2) and 4 operations.
+        assert 40 * 2 <= value <= 40 * 4

@@ -1,0 +1,151 @@
+"""Tests for the analysis/diagnostics module."""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    compare_generators,
+    empirical_distribution,
+    expected_deletion_count,
+    expected_repair_size,
+    inconsistency_report,
+    repair_distribution,
+    repair_distribution_entropy,
+    sampled_expected_repair_size,
+    total_variation_distance,
+)
+from repro.chains.generators import M_UO, M_UR, M_US
+from repro.chains.trust import TrustWeightedOperations
+from repro.sampling.repair_sampler import RepairSampler
+from repro.workloads import figure2_database
+
+
+class TestInconsistencyReport:
+    def test_figure2_metrics(self, figure2):
+        database, constraints = figure2
+        report = inconsistency_report(database, constraints)
+        assert report.facts == 6
+        assert report.violations == 4
+        assert report.conflicting_pairs == 4
+        assert report.facts_in_conflict == 5
+        assert report.nontrivial_components == 2
+        assert report.largest_component == 3
+        assert report.max_degree == 2
+        assert report.inconsistency_ratio == pytest.approx(5 / 6)
+
+    def test_consistent_database(self, figure2):
+        database, constraints = figure2
+        repaired = next(
+            iter(
+                __import__("repro.exact", fromlist=["candidate_repairs"]).candidate_repairs(
+                    database, constraints
+                )
+            )
+        )
+        report = inconsistency_report(repaired, constraints)
+        assert report.violations == 0
+        assert report.inconsistency_ratio == 0.0
+
+
+class TestRepairDistributions:
+    def test_mur_distribution_uniform(self, figure2):
+        database, constraints = figure2
+        distribution = repair_distribution(database, constraints, M_UR)
+        assert len(distribution) == 12
+        assert set(distribution.values()) == {Fraction(1, 12)}
+
+    def test_mus_distribution_matches_chain(self, running_example):
+        database, constraints, _ = running_example
+        chain = M_US.chain(database, constraints)
+        assert repair_distribution(
+            database, constraints, M_US
+        ) == chain.repair_probabilities()
+
+    def test_local_generator_distribution(self, two_fact_conflict):
+        database, constraints, _ = two_fact_conflict
+        distribution = repair_distribution(
+            database, constraints, TrustWeightedOperations()
+        )
+        assert sum(distribution.values()) == 1
+        assert len(distribution) == 3
+
+    def test_expected_repair_size_figure2(self, figure2):
+        database, constraints = figure2
+        # Blocks contribute independently under M_ur:
+        # E = 1 (isolated) + 3/4 (block of 3... keeps a fact w.p. 3/4)
+        #   + 2/3 -> 1 + 3/4 + 2/3 = 29/12.
+        assert expected_repair_size(database, constraints, M_UR) == Fraction(29, 12)
+
+    def test_expected_deletions_complement(self, figure2):
+        database, constraints = figure2
+        assert expected_deletion_count(database, constraints, M_UR) == (
+            Fraction(6) - Fraction(29, 12)
+        )
+
+    def test_entropy_uniform_is_log(self, figure2):
+        database, constraints = figure2
+        distribution = repair_distribution(database, constraints, M_UR)
+        assert repair_distribution_entropy(distribution) == pytest.approx(
+            math.log2(12)
+        )
+
+    def test_skewed_entropy_lower(self, two_fact_conflict):
+        database, constraints, (alice, tom) = two_fact_conflict
+        uniform = repair_distribution(database, constraints, M_UR)
+        skewed = repair_distribution(
+            database,
+            constraints,
+            TrustWeightedOperations.with_trust({alice: Fraction(99, 100)}),
+        )
+        assert repair_distribution_entropy(skewed) < repair_distribution_entropy(
+            uniform
+        )
+
+
+class TestSampledStatistics:
+    def test_sampled_size_matches_exact(self, figure2, rng):
+        database, constraints = figure2
+        sampler = RepairSampler(database, constraints, rng=rng)
+        sampled = sampled_expected_repair_size(sampler.sample, samples=6000)
+        exact = float(expected_repair_size(database, constraints, M_UR))
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_sampled_size_needs_positive_count(self, figure2, rng):
+        database, constraints = figure2
+        sampler = RepairSampler(database, constraints, rng=rng)
+        with pytest.raises(ValueError):
+            sampled_expected_repair_size(sampler.sample, samples=0)
+
+    def test_empirical_distribution_and_tv(self, figure2, rng):
+        database, constraints = figure2
+        sampler = RepairSampler(database, constraints, rng=rng)
+        empirical = empirical_distribution(sampler.sample() for _ in range(8000))
+        exact = repair_distribution(database, constraints, M_UR)
+        assert float(total_variation_distance(empirical, exact)) < 0.05
+
+    def test_tv_of_identical_distributions_zero(self, figure2):
+        database, constraints = figure2
+        exact = repair_distribution(database, constraints, M_UR)
+        assert total_variation_distance(exact, exact) == 0
+
+    def test_empirical_distribution_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(iter(()))
+
+
+class TestGeneratorComparison:
+    def test_summary_table(self, figure2):
+        database, constraints = figure2
+        summary = compare_generators(
+            database, constraints, (M_UR, M_US, M_UO)
+        )
+        assert set(summary) == {"M_ur", "M_us", "M_uo"}
+        assert summary["M_ur"]["repairs"] == 12
+        # All three range over the same repair set on this instance.
+        assert summary["M_us"]["repairs"] == 12
+        # M_ur maximizes entropy (it is the uniform one).
+        assert summary["M_ur"]["entropy_bits"] >= summary["M_us"]["entropy_bits"]
+        assert summary["M_ur"]["entropy_bits"] >= summary["M_uo"]["entropy_bits"]

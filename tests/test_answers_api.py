@@ -1,0 +1,107 @@
+"""Tests for the high-level OCQA answering API."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.chains.generators import M_UO, M_UR, M_US
+from repro.core.queries import atom, cq, var
+from repro.cqa.answers import ocqa_probability, operational_consistent_answers
+
+x, y = var("x"), var("y")
+
+
+class TestOcqaProbability:
+    def test_exact(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", "a1", x),))
+        value = ocqa_probability(database, constraints, M_UR, query, ("b1",))
+        assert value == Fraction(1, 4)
+
+    def test_approx(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", "a1", x),))
+        result = ocqa_probability(
+            database,
+            constraints,
+            M_UR,
+            query,
+            ("b1",),
+            method="approx",
+            epsilon=0.2,
+            delta=0.05,
+            rng=random.Random(1),
+        )
+        assert result.estimate == pytest.approx(0.25, rel=0.2)
+
+    def test_unknown_method(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", "a1", x),))
+        with pytest.raises(ValueError):
+            ocqa_probability(database, constraints, M_UR, query, ("b1",), method="x")
+
+
+class TestAnswerTables:
+    def test_exact_table_sorted_by_probability(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, y),))
+        rows = operational_consistent_answers(database, constraints, M_UR, query)
+        assert [row.answer for row in rows][0] == ("a2",)
+        assert rows[0].probability == 1
+        probabilities = [float(row.probability) for row in rows]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert all(row.exact for row in rows)
+
+    def test_exact_table_values(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, y),))
+        rows = {row.answer: row.probability for row in
+                operational_consistent_answers(database, constraints, M_UR, query)}
+        # Survival probability of each block under uniform repairs:
+        # a1-block: 3/4, a2: certain, a3-block: 2/3.
+        assert rows == {
+            ("a1",): Fraction(3, 4),
+            ("a2",): Fraction(1),
+            ("a3",): Fraction(2, 3),
+        }
+
+    def test_different_generators_differ(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, y),))
+        by_generator = {
+            generator.name: {
+                row.answer: row.probability
+                for row in operational_consistent_answers(
+                    database, constraints, generator, query
+                )
+            }
+            for generator in (M_UR, M_US, M_UO)
+        }
+        assert by_generator["M_ur"][("a1",)] != by_generator["M_us"][("a1",)]
+        assert by_generator["M_us"][("a1",)] != by_generator["M_uo"][("a1",)]
+
+    def test_approx_table(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, y),))
+        rows = operational_consistent_answers(
+            database,
+            constraints,
+            M_UR,
+            query,
+            method="approx",
+            epsilon=0.2,
+            delta=0.1,
+            rng=random.Random(2),
+        )
+        by_answer = {row.answer: row.probability for row in rows}
+        assert by_answer[("a2",)] == pytest.approx(1.0, rel=0.2)
+        assert not any(row.exact for row in rows)
+
+    def test_unknown_method(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, y),))
+        with pytest.raises(ValueError):
+            operational_consistent_answers(
+                database, constraints, M_UR, query, method="nope"
+            )

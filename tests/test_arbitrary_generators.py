@@ -1,0 +1,88 @@
+"""The framework's generality: arbitrary (non-uniform, non-local) generators.
+
+The paper defines ``M_Σ`` as *any* function from databases to valid chains;
+these tests exercise a custom generator whose edge labels depend on the
+whole sequence so far (hence not local), through the explicit-chain fallback
+of the exact engine and the Definition 3.5 validator.
+"""
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import repair_distribution
+from repro.chains.generators import MarkovChainGenerator
+from repro.chains.markov import ChainNode
+from repro.core.dependencies import FDSet
+from repro.core.queries import atom, boolean_cq
+from repro.exact import exact_ocqa
+
+
+@dataclass(frozen=True)
+class FirstChildFavourite(MarkovChainGenerator):
+    """A path-dependent generator: at depth ``d``, the first child (in
+    Figure 1 order) receives ``1/2 + 1/2^{d+2}`` of the mass at depth 0 and
+    plain uniform elsewhere — the probabilities depend on the sequence
+    length, so the generator is *not* local."""
+
+    @property
+    def base_name(self) -> str:
+        return "M_custom"
+
+    def _annotate(self, root: ChainNode, constraints: FDSet) -> None:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.children:
+                depth = len(node.sequence)
+                if depth == 0 and len(node.children) > 1:
+                    head = Fraction(1, 2)
+                    rest = (1 - head) / (len(node.children) - 1)
+                    node.children[0].edge_probability = head
+                    for child in node.children[1:]:
+                        child.edge_probability = rest
+                else:
+                    uniform = Fraction(1, len(node.children))
+                    for child in node.children:
+                        child.edge_probability = uniform
+            stack.extend(node.children)
+
+
+class TestArbitraryGenerator:
+    def test_chain_validates(self, running_example):
+        database, constraints, _ = running_example
+        chain = FirstChildFavourite().chain(database, constraints)
+        chain.validate()
+
+    def test_exact_ocqa_falls_back_to_chain(self, running_example):
+        database, constraints, _ = running_example
+        generator = FirstChildFavourite()
+        query = boolean_cq(atom("R", "a2", "b1", "c2"))
+        value = exact_ocqa(database, constraints, generator, query)
+        chain = generator.chain(database, constraints)
+        assert value == chain.answer_probability(query)
+
+    def test_distribution_differs_from_uniform_operations(self, running_example):
+        from repro.chains.generators import M_UO
+
+        database, constraints, _ = running_example
+        custom = repair_distribution(database, constraints, FirstChildFavourite())
+        uniform = repair_distribution(database, constraints, M_UO)
+        assert custom != uniform
+        assert sum(custom.values()) == 1
+
+    def test_root_bias_shows_up(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = FirstChildFavourite().chain(database, constraints)
+        # Figure 1 order: the first root child is -f1.
+        first = chain.root.children[0]
+        assert first.operation.removed == frozenset({f1})
+        assert first.edge_probability == Fraction(1, 2)
+
+    def test_analysis_layer_accepts_it(self, running_example):
+        database, constraints, _ = running_example
+        from repro.analysis import expected_repair_size
+
+        expected = expected_repair_size(database, constraints, FirstChildFavourite())
+        assert 0 < expected < 3

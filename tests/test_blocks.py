@@ -1,0 +1,100 @@
+"""Unit tests for block decompositions (the primary-key repair units)."""
+
+import pytest
+
+from repro.core.blocks import BlockError, block_decomposition, blocks_of_facts
+from repro.core.database import Database
+from repro.core.dependencies import FDSet, fd, key
+from repro.core.facts import fact
+from repro.core.schema import Schema
+
+
+class TestDecomposition:
+    def test_figure2_blocks(self, figure2):
+        database, constraints = figure2
+        decomposition = block_decomposition(database, constraints)
+        assert sorted(len(b) for b in decomposition) == [1, 2, 3]
+        assert decomposition.sizes() == [2, 3]
+        assert len(decomposition.conflicting_blocks()) == 2
+        assert decomposition.singleton_facts() == frozenset({fact("R", "a2", "b1")})
+
+    def test_counts_match_example_b2(self, figure2):
+        database, constraints = figure2
+        decomposition = block_decomposition(database, constraints)
+        # Example B.2: (3+1) x (2+1) = 12 candidate repairs.
+        assert decomposition.count_candidate_repairs() == 12
+        # Singleton operations: 3 x 2 = 6 repairs (one fact per block).
+        assert decomposition.count_singleton_repairs() == 6
+
+    def test_requires_primary_keys(self, running_example):
+        database, constraints, _ = running_example
+        with pytest.raises(BlockError):
+            block_decomposition(database, constraints)
+
+    def test_keyless_relation_gives_singletons(self):
+        schema = Schema.from_spec({"R": ["A", "B"], "S": ["X"]})
+        constraints = FDSet(schema, [key(schema, "R", "A")])
+        database = Database(
+            [fact("R", 1, "x"), fact("R", 1, "y"), fact("S", 1), fact("S", 2)],
+            schema=schema,
+        )
+        decomposition = block_decomposition(database, constraints)
+        assert sorted(len(b) for b in decomposition) == [1, 1, 2]
+        assert decomposition.count_candidate_repairs() == 3
+
+    def test_block_of(self, figure2):
+        database, constraints = figure2
+        decomposition = block_decomposition(database, constraints)
+        block = decomposition.block_of(fact("R", "a1", "b2"))
+        assert len(block) == 3
+        with pytest.raises(BlockError):
+            decomposition.block_of(fact("R", "zz", "zz"))
+
+    def test_blocks_are_conflict_cliques(self, figure2):
+        database, constraints = figure2
+        decomposition = block_decomposition(database, constraints)
+        for block in decomposition.conflicting_blocks():
+            facts = block.sorted_facts()
+            for i, f in enumerate(facts):
+                for g in facts[i + 1 :]:
+                    assert not constraints.pair_satisfies(f, g)
+
+    def test_composite_key_grouping(self):
+        schema = Schema.from_spec({"R": ["A", "B", "C"]})
+        constraints = FDSet(schema, [fd("R", ["A", "B"], "C")])
+        database = Database(
+            [
+                fact("R", 1, 1, "x"),
+                fact("R", 1, 1, "y"),
+                fact("R", 1, 2, "x"),
+            ],
+            schema=schema,
+        )
+        decomposition = block_decomposition(database, constraints)
+        assert decomposition.sizes() == [2]
+
+    def test_blocks_of_facts_distinct(self, figure2):
+        database, constraints = figure2
+        decomposition = block_decomposition(database, constraints)
+        chosen = blocks_of_facts(
+            decomposition,
+            frozenset({fact("R", "a1", "b1"), fact("R", "a3", "b1")}),
+        )
+        assert len(chosen) == 2
+
+    def test_blocks_of_facts_rejects_shared_block(self, figure2):
+        database, constraints = figure2
+        decomposition = block_decomposition(database, constraints)
+        with pytest.raises(BlockError):
+            blocks_of_facts(
+                decomposition,
+                frozenset({fact("R", "a1", "b1"), fact("R", "a1", "b2")}),
+            )
+
+    def test_empty_database(self):
+        schema = Schema.from_spec({"R": ["A", "B"]})
+        constraints = FDSet(schema, [key(schema, "R", "A")])
+        decomposition = block_decomposition(Database(schema=schema), constraints)
+        assert len(decomposition) == 0
+        assert decomposition.count_candidate_repairs() == 1
+        assert decomposition.count_singleton_repairs() == 1

@@ -1,0 +1,132 @@
+"""Tests that the paper's positivity bounds hold against exact values."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.approx.bounds import (
+    bound_for,
+    pathological_upper_bound,
+    rrfreq_lower_bound,
+    singleton_frequency_lower_bound,
+    srfreq_lower_bound,
+    uo_keys_lower_bound,
+    uo_singleton_fd_lower_bound,
+)
+from repro.core.queries import atom, boolean_cq
+from repro.exact import (
+    rrfreq,
+    rrfreq1,
+    srfreq,
+    srfreq1,
+    uniform_operations_answer_probability,
+)
+from repro.reductions.pathological import exact_centre_probability
+from repro.workloads import block_database, fd_star_database, multikey_database
+
+
+def block_queries(database):
+    """A few single-atom Boolean queries over facts of the database."""
+    return [boolean_cq(atom(f.relation, *f.values)) for f in database.sorted_facts()]
+
+
+class TestFrequencyBounds:
+    def test_lemma_5_3_on_blocks(self, figure2):
+        database, constraints = figure2
+        for query in block_queries(database):
+            value = rrfreq(database, constraints, query)
+            bound = rrfreq_lower_bound(database, query)
+            if value > 0:
+                assert value >= bound
+
+    def test_lemma_6_3_on_blocks(self, figure2):
+        database, constraints = figure2
+        for query in block_queries(database):
+            value = srfreq(database, constraints, query)
+            bound = srfreq_lower_bound(database, query)
+            if value > 0:
+                assert value >= bound
+
+    def test_example_b3_bound_value(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        # Example B.3: 1/(2|D|)^{|Q|} = 1/12 bounds rrfreq = 1/4.
+        assert rrfreq_lower_bound(database, query) == Fraction(1, 12)
+        assert rrfreq(database, constraints, query) == Fraction(1, 4)
+
+    def test_lemma_e3_e10_on_blocks(self, figure2):
+        database, constraints = figure2
+        for query in block_queries(database):
+            bound = singleton_frequency_lower_bound(database, query)
+            for value in (
+                rrfreq1(database, constraints, query),
+                srfreq1(database, constraints, query),
+            ):
+                if value > 0:
+                    assert value >= bound
+
+    def test_singleton_bound_is_weaker_requirement(self, figure2):
+        database, _ = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        assert singleton_frequency_lower_bound(database, query) > rrfreq_lower_bound(
+            database, query
+        )
+
+
+class TestUniformOperationsBounds:
+    def test_lemma_d8_on_fd_stars(self):
+        database, constraints = fd_star_database(n_stars=2, spokes_per_star=2)
+        for query in block_queries(database):
+            value = uniform_operations_answer_probability(
+                database, constraints, query, singleton_only=True
+            )
+            bound = uo_singleton_fd_lower_bound(database, query)
+            if value > 0:
+                assert value >= bound
+
+    def test_prop_7_3_on_multikey_instance(self, rng):
+        instance = multikey_database(5, max_degree=3, rng=rng)
+        database, constraints = instance.database, instance.constraints
+        query = block_queries(database)[0]
+        value = uniform_operations_answer_probability(database, constraints, query)
+        bound = uo_keys_lower_bound(database, constraints, query)
+        assert 0 < bound < Fraction(1, 10**6)  # polynomial but tiny
+        if value > 0:
+            assert value >= bound
+
+    def test_pathological_upper_bound_vs_closed_form(self):
+        for n in range(1, 12):
+            assert exact_centre_probability(n) <= pathological_upper_bound(n)
+            assert exact_centre_probability(n) > 0
+
+    def test_pathological_bound_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            pathological_upper_bound(0)
+
+
+class TestBoundDispatch:
+    def test_primary_key_dispatch(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        assert bound_for("M_ur", database, constraints, query) == Fraction(1, 12)
+        assert bound_for("M_us", database, constraints, query) == Fraction(1, 12)
+        assert bound_for("M_ur,1", database, constraints, query) == Fraction(1, 6)
+        assert bound_for("M_us,1", database, constraints, query) == Fraction(1, 6)
+
+    def test_uo_dispatch(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        assert bound_for("M_uo", database, constraints, query) > 0
+        assert bound_for("M_uo,1", database, constraints, query) > 0
+
+    def test_unsupported_combinations_raise(self, running_example):
+        database, constraints, _ = running_example  # non-key FDs
+        query = boolean_cq(atom("R", "a1", "b1", "c1"))
+        with pytest.raises(KeyError):
+            bound_for("M_ur", database, constraints, query)
+        with pytest.raises(KeyError):
+            bound_for("M_uo", database, constraints, query)
+        with pytest.raises(KeyError):
+            bound_for("M_xx", database, constraints, query)
+        # M_uo,1 works for any FDs (Theorem 7.5).
+        assert bound_for("M_uo,1", database, constraints, query) > 0

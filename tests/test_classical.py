@@ -1,0 +1,95 @@
+"""Tests for the classical CQA baseline (subset repairs, certain answers)."""
+
+from fractions import Fraction
+
+from repro.core.database import Database
+from repro.core.queries import atom, boolean_cq, cq, var
+from repro.cqa.classical import (
+    classical_relative_frequency,
+    consistent_answers,
+    count_subset_repairs,
+    is_consistent_answer,
+    subset_repairs,
+)
+from repro.exact import candidate_repairs
+
+x = var("x")
+
+
+class TestSubsetRepairs:
+    def test_running_example(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        repairs = set(subset_repairs(database, constraints))
+        # Maximal independent sets of the path f1-f2-f3.
+        assert repairs == {Database([f1, f3]), Database([f2])}
+        assert count_subset_repairs(database, constraints) == 2
+
+    def test_figure2(self, figure2):
+        database, constraints = figure2
+        repairs = list(subset_repairs(database, constraints))
+        # 3 choices in block a1 x 2 in block a3; isolated fact always kept.
+        assert len(repairs) == 6
+        assert count_subset_repairs(database, constraints) == 6
+        for repair in repairs:
+            assert constraints.satisfied_by(repair)
+
+    def test_subset_repairs_are_maximal(self, figure2):
+        database, constraints = figure2
+        for repair in subset_repairs(database, constraints):
+            for missing in database.facts - repair.facts:
+                augmented = repair.union([missing])
+                assert not constraints.satisfied_by(augmented)
+
+    def test_subset_repairs_subset_of_operational(self, figure2):
+        database, constraints = figure2
+        operational = set(candidate_repairs(database, constraints))
+        classical = set(subset_repairs(database, constraints))
+        assert classical <= operational
+        assert len(classical) < len(operational)
+
+    def test_consistent_database_single_repair(self, two_fact_conflict):
+        database, constraints, (alice, tom) = two_fact_conflict
+        fixed = database.difference([tom])
+        assert list(subset_repairs(fixed, constraints)) == [fixed]
+
+
+class TestCertainAnswers:
+    def test_certain_fact(self, figure2):
+        database, constraints = figure2
+        assert is_consistent_answer(
+            database, constraints, boolean_cq(atom("R", "a2", "b1"))
+        )
+
+    def test_uncertain_fact(self, figure2):
+        database, constraints = figure2
+        assert not is_consistent_answer(
+            database, constraints, boolean_cq(atom("R", "a1", "b1"))
+        )
+
+    def test_consistent_answers_table(self, figure2):
+        database, constraints = figure2
+        y = var("y")
+        query = cq((x,), (atom("R", x, y),))
+        # Every block keeps some fact in every *maximal* repair, so all
+        # three key values are certain answers to the projection query.
+        assert consistent_answers(database, constraints, query) == frozenset(
+            {("a1",), ("a2",), ("a3",)}
+        )
+
+    def test_relative_frequency(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        # 2 of the 6 maximal repairs keep R(a1, b1).
+        assert classical_relative_frequency(database, constraints, query) == Fraction(
+            1, 3
+        )
+
+    def test_operational_vs_classical_frequencies_differ(self, figure2):
+        from repro.exact import rrfreq
+
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        classical = classical_relative_frequency(database, constraints, query)
+        operational = rrfreq(database, constraints, query)
+        # Operational repairs include non-maximal ones, diluting frequency.
+        assert operational < classical

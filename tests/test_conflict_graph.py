@@ -1,0 +1,111 @@
+"""Unit tests for conflict graphs and independent sets."""
+
+from repro.core.conflict_graph import ConflictGraph
+from repro.core.database import Database
+from repro.core.dependencies import FDSet, fd
+from repro.core.facts import fact
+from repro.core.schema import Schema
+
+
+class TestConstruction:
+    def test_running_example_edges(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        graph = ConflictGraph.of(database, constraints)
+        assert graph.nodes == frozenset({f1, f2, f3})
+        assert graph.edges() == frozenset(
+            {frozenset({f1, f2}), frozenset({f2, f3})}
+        )
+        assert graph.degree(f2) == 2
+        assert graph.max_degree() == 2
+
+    def test_figure2_block_cliques(self, figure2):
+        database, constraints = figure2
+        graph = ConflictGraph.of(database, constraints)
+        assert graph.edge_count() == 4  # C(3,2) + C(2,2)... 3 + 1
+        assert len(graph.isolated_nodes()) == 1
+
+    def test_from_edges(self):
+        f, g, h = fact("R", 1), fact("R", 2), fact("R", 3)
+        graph = ConflictGraph.from_edges([f, g, h], [frozenset({f, g})])
+        assert graph.has_edge(f, g)
+        assert not graph.has_edge(f, h)
+        assert graph.isolated_nodes() == frozenset({h})
+
+
+class TestConnectivity:
+    def test_components(self, figure2):
+        database, constraints = figure2
+        graph = ConflictGraph.of(database, constraints)
+        components = graph.connected_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 3]
+        assert len(graph.nontrivial_components()) == 2
+
+    def test_nontrivially_connected(self, running_example):
+        database, constraints, _ = running_example
+        graph = ConflictGraph.of(database, constraints)
+        assert graph.is_nontrivially_connected()
+
+    def test_single_node_trivially_connected(self):
+        f = fact("R", 1)
+        graph = ConflictGraph.from_edges([f], [])
+        assert graph.is_connected()
+        assert not graph.is_nontrivially_connected()
+
+    def test_subgraph(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        graph = ConflictGraph.of(database, constraints)
+        sub = graph.subgraph([f1, f3])
+        assert sub.edge_count() == 0
+        assert len(sub) == 2
+
+
+class TestIndependentSets:
+    def test_path_graph_counts(self, running_example):
+        # CG of the running example is the path f1 - f2 - f3:
+        # IS = {}, {f1}, {f2}, {f3}, {f1,f3}  ->  5 sets.
+        database, constraints, _ = running_example
+        graph = ConflictGraph.of(database, constraints)
+        assert graph.count_independent_sets() == 5
+        assert graph.count_nonempty_independent_sets() == 4
+        assert len(list(graph.independent_sets())) == 5
+
+    def test_enumeration_matches_count(self, figure2):
+        database, constraints = figure2
+        graph = ConflictGraph.of(database, constraints)
+        listed = list(graph.independent_sets())
+        assert len(listed) == graph.count_independent_sets()
+        assert len(set(listed)) == len(listed)
+        for independent in listed:
+            assert graph.is_independent(independent)
+
+    def test_is_independent(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        graph = ConflictGraph.of(database, constraints)
+        assert graph.is_independent([f1, f3])
+        assert not graph.is_independent([f1, f2])
+        assert graph.is_independent([])
+
+    def test_maximal_independent_sets_of_path(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        graph = ConflictGraph.of(database, constraints)
+        maximal = set(graph.maximal_independent_sets())
+        assert maximal == {frozenset({f1, f3}), frozenset({f2})}
+
+    def test_clique_independent_sets(self):
+        schema = Schema.from_spec({"R": ["A", "B"]})
+        constraints = FDSet(schema, [fd("R", "A", "B")])
+        database = Database(
+            [fact("R", 1, i) for i in range(4)], schema=schema
+        )
+        graph = ConflictGraph.of(database, constraints)
+        # A 4-clique: IS = empty + 4 singletons.
+        assert graph.count_independent_sets() == 5
+
+    def test_matches_under_bijection(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        graph = ConflictGraph.of(database, constraints)
+        identity = {f: f for f in (f1, f2, f3)}
+        assert graph.matches_under(graph, identity)
+        swapped = {f1: f2, f2: f1, f3: f3}
+        assert not graph.matches_under(graph, swapped)

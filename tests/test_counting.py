@@ -1,0 +1,120 @@
+"""Tests for the polynomial counters (Lemma C.1 and the closed forms)."""
+
+import pytest
+
+from repro.counting import (
+    block_length_distribution,
+    block_sequence_count,
+    count_candidate_repairs_primary_keys,
+    count_crs,
+    count_crs1,
+    count_crs1_for_block_sizes,
+    count_crs_for_block_sizes,
+    count_crs_paper_dp,
+    count_repairs_for_block_sizes,
+    count_singleton_repairs_for_block_sizes,
+    count_singleton_repairs_primary_keys,
+    crs_length_distribution,
+    empty_block_sequences,
+    nonempty_block_sequences,
+    singleton_block_sequence_count,
+)
+from repro.exact.state_space import count_complete_sequences
+from repro.workloads import block_database
+
+
+class TestClosedForms:
+    def test_example_c2_block3(self):
+        # Example C.2: S^{ne,0}_3 = 6, S^{ne,1}_3 = 3, S^{e,0}_3 = 0, S^{e,1}_3 = 3.
+        assert nonempty_block_sequences(3, 0) == 6
+        assert nonempty_block_sequences(3, 1) == 3
+        assert empty_block_sequences(3, 0) == 0
+        assert empty_block_sequences(3, 1) == 3
+
+    def test_example_c2_block2(self):
+        # S^{ne,0}_2 = 2, S^{ne,1}_2 = 0, S^{e,0}_2 = 0, S^{e,1}_2 = 1.
+        assert nonempty_block_sequences(2, 0) == 2
+        assert nonempty_block_sequences(2, 1) == 0
+        assert empty_block_sequences(2, 0) == 0
+        assert empty_block_sequences(2, 1) == 1
+
+    def test_block_totals(self):
+        assert block_sequence_count(2) == 3
+        assert block_sequence_count(3) == 12
+
+    def test_even_block_no_nonempty_full_pairing(self):
+        # m even, i = m/2: cannot keep a fact with m/2 pair removals.
+        assert nonempty_block_sequences(4, 2) == 0
+        assert empty_block_sequences(4, 2) > 0
+
+    def test_length_distribution_sums(self):
+        for m in range(2, 7):
+            assert sum(block_length_distribution(m).values()) == block_sequence_count(m)
+
+    def test_singleton_block_count_factorial(self):
+        assert singleton_block_sequence_count(2) == 2
+        assert singleton_block_sequence_count(3) == 6
+        assert singleton_block_sequence_count(4) == 24
+
+    def test_small_block_rejected(self):
+        with pytest.raises(ValueError):
+            nonempty_block_sequences(1, 0)
+        with pytest.raises(ValueError):
+            singleton_block_sequence_count(1)
+
+
+class TestCRSCounting:
+    def test_example_c2_total(self):
+        assert count_crs_for_block_sizes((3, 2)) == 99
+        assert count_crs_paper_dp((3, 2)) == 99
+
+    def test_paper_dp_matches_shuffle_dp(self):
+        cases = [(2,), (3,), (4,), (2, 2), (3, 3), (4, 2), (2, 2, 2), (5, 3, 2)]
+        for sizes in cases:
+            assert count_crs_paper_dp(sizes) == count_crs_for_block_sizes(sizes), sizes
+
+    @pytest.mark.parametrize("sizes", [(2,), (3,), (2, 2), (3, 2), (4,), (2, 2, 2)])
+    def test_matches_state_space(self, sizes):
+        database, constraints = block_database(list(sizes))
+        assert count_crs_for_block_sizes(sizes) == count_complete_sequences(
+            database, constraints
+        )
+
+    @pytest.mark.parametrize("sizes", [(2,), (3,), (2, 2), (3, 2)])
+    def test_singleton_matches_state_space(self, sizes):
+        database, constraints = block_database(list(sizes))
+        assert count_crs1_for_block_sizes(sizes) == count_complete_sequences(
+            database, constraints, singleton_only=True
+        )
+
+    def test_sizes_below_two_ignored(self):
+        assert count_crs_for_block_sizes((1, 1, 3, 2, 1)) == 99
+        assert count_crs_for_block_sizes(()) == 1
+
+    def test_database_level_wrappers(self, figure2):
+        database, constraints = figure2
+        assert count_crs(database, constraints) == 99
+        assert count_crs1(database, constraints) == 36
+
+    def test_crs1_figure2_value(self, figure2):
+        database, constraints = figure2
+        # Block a1: 3! = 6 orders; block a3: 2! = 2; interleavings C(3,1)=3.
+        assert count_crs1_for_block_sizes((3, 2)) == 6 * 2 * 3
+
+    def test_length_distribution_total(self):
+        distribution = crs_length_distribution((3, 2))
+        assert sum(distribution.values()) == 99
+        # Each block contributes 1 or 2 operations, so totals are 2 or 3.
+        assert set(distribution) == {2, 3}
+
+
+class TestRepairCounts:
+    def test_figure2(self, figure2):
+        database, constraints = figure2
+        assert count_candidate_repairs_primary_keys(database, constraints) == 12
+        assert count_singleton_repairs_primary_keys(database, constraints) == 6
+
+    def test_size_formulas(self):
+        assert count_repairs_for_block_sizes([3, 2, 1]) == 12
+        assert count_singleton_repairs_for_block_sizes([3, 2, 1]) == 6
+        assert count_repairs_for_block_sizes([]) == 1

@@ -1,0 +1,91 @@
+"""Unit tests for databases."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.schema import Schema, SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_spec({"R": ["A", "B"], "S": ["X"]})
+
+
+class TestDatabase:
+    def test_set_semantics(self, schema):
+        db = Database([fact("R", 1, 2), fact("R", 1, 2)], schema=schema)
+        assert len(db) == 1
+
+    def test_schema_validation(self, schema):
+        with pytest.raises(SchemaError):
+            Database([fact("R", 1)], schema=schema)
+        with pytest.raises(SchemaError):
+            Database([fact("T", 1)], schema=schema)
+
+    def test_equality_ignores_schema(self, schema):
+        with_schema = Database([fact("R", 1, 2)], schema=schema)
+        without = Database([fact("R", 1, 2)])
+        assert with_schema == without
+        assert hash(with_schema) == hash(without)
+
+    def test_equality_with_raw_sets(self):
+        db = Database([fact("R", 1, 2)])
+        assert db == {fact("R", 1, 2)}
+
+    def test_contains_and_iter(self):
+        f = fact("R", 1, 2)
+        db = Database([f])
+        assert f in db
+        assert list(db) == [f]
+
+    def test_difference_preserves_schema(self, schema):
+        f, g = fact("R", 1, 2), fact("R", 3, 4)
+        db = Database([f, g], schema=schema)
+        smaller = db.difference([f])
+        assert smaller.facts == frozenset({g})
+        assert smaller.schema is schema
+
+    def test_union(self):
+        db = Database([fact("R", 1, 2)])
+        bigger = db.union([fact("R", 3, 4)])
+        assert len(bigger) == 2
+
+    def test_subset_ordering(self):
+        small = Database([fact("R", 1, 2)])
+        big = Database([fact("R", 1, 2), fact("R", 3, 4)])
+        assert small <= big
+        assert small < big
+        assert not big <= small
+
+    def test_active_domain(self):
+        db = Database([fact("R", 1, "a"), fact("S", "a")])
+        assert db.active_domain() == frozenset({1, "a"})
+
+    def test_relation_views(self):
+        r = fact("R", 1, 2)
+        s = fact("S", 9)
+        db = Database([r, s])
+        assert db.facts_of("R") == frozenset({r})
+        assert db.restrict_to_relation("S").facts == frozenset({s})
+        assert db.relation_names() == frozenset({"R", "S"})
+        assert db.by_relation() == {"R": frozenset({r}), "S": frozenset({s})}
+
+    def test_sorted_facts_deterministic(self):
+        db = Database([fact("R", 2, 1), fact("R", 1, 2), fact("Q", 0)])
+        rendered = [str(f) for f in db.sorted_facts()]
+        assert rendered == sorted(rendered)
+
+    def test_sorted_facts_heterogeneous_constants(self):
+        # Mixed int/str constants must not break the deterministic order.
+        db = Database([fact("R", 1, "a"), fact("R", "b", 2)])
+        assert len(db.sorted_facts()) == 2
+
+    def test_with_schema_validates(self, schema):
+        db = Database([fact("R", 1)])
+        with pytest.raises(SchemaError):
+            db.with_schema(schema)
+
+    def test_str_renders_sorted(self):
+        db = Database([fact("R", 1, 2)])
+        assert str(db) == "{R(1, 2)}"

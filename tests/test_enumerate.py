@@ -1,0 +1,86 @@
+"""Tests for repair enumeration: component route vs brute force."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.dependencies import FDSet, fd
+from repro.core.facts import fact
+from repro.core.schema import Schema
+from repro.exact.enumerate import (
+    candidate_repairs,
+    candidate_repairs_bruteforce,
+    count_candidate_repairs,
+)
+from repro.exact.state_space import StateSpaceEngine
+from repro.workloads import block_database, fd_star_database
+
+
+class TestCandidateRepairs:
+    def test_running_example_repairs(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        repairs = set(candidate_repairs(database, constraints))
+        assert repairs == {
+            Database([]),
+            Database([f1]),
+            Database([f2]),
+            Database([f3]),
+            Database([f1, f3]),
+        }
+
+    def test_component_route_matches_bruteforce(self, figure2):
+        database, constraints = figure2
+        assert set(candidate_repairs(database, constraints)) == (
+            candidate_repairs_bruteforce(database, constraints)
+        )
+
+    def test_component_route_matches_statespace(self, figure2):
+        database, constraints = figure2
+        engine = StateSpaceEngine(database, constraints)
+        assert set(candidate_repairs(database, constraints)) == engine.candidate_repairs()
+
+    def test_singleton_component_route_matches_statespace(self, figure2):
+        database, constraints = figure2
+        engine = StateSpaceEngine(database, constraints, singleton_only=True)
+        assert set(
+            candidate_repairs(database, constraints, singleton_only=True)
+        ) == engine.candidate_repairs()
+
+    def test_singleton_repairs_keep_component_nonempty(self, running_example):
+        database, constraints, _ = running_example
+        for repair in candidate_repairs(database, constraints, singleton_only=True):
+            assert len(repair) >= 1
+
+    def test_count_matches_enumeration(self, figure2):
+        database, constraints = figure2
+        assert count_candidate_repairs(database, constraints) == 12
+        assert count_candidate_repairs(database, constraints, singleton_only=True) == 6
+
+    def test_consistent_database_one_repair(self):
+        schema = Schema.from_spec({"R": ["A", "B"]})
+        constraints = FDSet(schema, [fd("R", "A", "B")])
+        database = Database([fact("R", 1, "x")], schema=schema)
+        repairs = list(candidate_repairs(database, constraints))
+        assert repairs == [database]
+        assert count_candidate_repairs(database, constraints) == 1
+
+    def test_multi_fd_nonkey_instance(self):
+        database, constraints = fd_star_database(n_stars=2, spokes_per_star=2)
+        component = set(candidate_repairs(database, constraints))
+        brute = candidate_repairs_bruteforce(database, constraints)
+        assert component == brute
+        assert count_candidate_repairs(database, constraints) == len(brute)
+
+    @pytest.mark.parametrize("sizes", [(2,), (3,), (2, 2), (4,), (3, 2)])
+    def test_block_product_formula(self, sizes):
+        database, constraints = block_database(list(sizes))
+        expected = 1
+        for size in sizes:
+            if size >= 2:
+                expected *= size + 1
+        assert count_candidate_repairs(database, constraints) == expected
+
+    def test_repairs_are_consistent_subsets(self, figure2):
+        database, constraints = figure2
+        for repair in candidate_repairs(database, constraints):
+            assert repair <= database
+            assert constraints.satisfied_by(repair)

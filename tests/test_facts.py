@@ -1,0 +1,64 @@
+"""Unit tests for facts."""
+
+import pytest
+
+from repro.core.facts import Fact, fact
+from repro.core.schema import RelationSchema, Schema, SchemaError
+
+
+class TestFact:
+    def test_constructor_helper(self):
+        f = fact("R", "a", 1)
+        assert f.relation == "R"
+        assert f.values == ("a", 1)
+        assert f.arity == 2
+
+    def test_equality_and_hash(self):
+        assert fact("R", "a") == fact("R", "a")
+        assert fact("R", "a") != fact("R", "b")
+        assert fact("R", "a") != fact("S", "a")
+        assert len({fact("R", "a"), fact("R", "a")}) == 1
+
+    def test_positional_access(self):
+        f = fact("R", "a", "b")
+        assert f.value_at(0) == "a"
+        assert f[1] == "b"
+
+    def test_attribute_access_via_schema(self):
+        rel = RelationSchema("R", ("A", "B"))
+        f = fact("R", "x", "y")
+        assert f.value(rel, "A") == "x"
+        assert f.value(rel, "B") == "y"
+
+    def test_attribute_access_wrong_relation_raises(self):
+        rel = RelationSchema("S", ("A",))
+        with pytest.raises(SchemaError):
+            fact("R", "x").value(rel, "A")
+
+    def test_string_attribute_index_raises(self):
+        with pytest.raises(TypeError):
+            fact("R", "x")["A"]
+
+    def test_project(self):
+        rel = RelationSchema("R", ("A", "B", "C"))
+        f = fact("R", 1, 2, 3)
+        assert f.project(rel, ["C", "A"]) == (3, 1)
+
+    def test_conforms_to_schema(self):
+        schema = Schema.from_spec({"R": ["A", "B"]})
+        assert fact("R", 1, 2).conforms_to(schema)
+        assert not fact("R", 1).conforms_to(schema)
+        assert not fact("S", 1, 2).conforms_to(schema)
+
+    def test_ordering_is_total_on_comparable_values(self):
+        facts = [fact("R", "b"), fact("R", "a"), fact("Q", "z")]
+        ordered = sorted(facts)
+        assert ordered[0].relation == "Q"
+        assert ordered[1] == fact("R", "a")
+
+    def test_str(self):
+        assert str(fact("R", "a", 1)) == "R('a', 1)"
+
+    def test_values_normalized_to_tuple(self):
+        f = Fact("R", ["a", "b"])  # list input
+        assert isinstance(f.values, tuple)

@@ -1,0 +1,106 @@
+"""Tests for exact rrfreq / srfreq and the worked-example values."""
+
+from fractions import Fraction
+
+from repro.core.queries import atom, boolean_cq, cq, var
+from repro.exact.frequencies import rrfreq, rrfreq1, srfreq, srfreq1
+from repro.exact.ocqa import exact_ocqa, exact_operational_consistent_answers
+from repro.chains.generators import M_UO, M_UR, M_UR1, M_US, M_US1, M_UO1
+
+x = var("x")
+
+
+class TestRRFreq:
+    def test_example_b3_value(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", "a1", x),))
+        # Example B.3: rrfreq = 3/12 = 1/4 for the answer (b1).
+        assert rrfreq(database, constraints, query, ("b1",)) == Fraction(1, 4)
+
+    def test_boolean_form_same_value(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        assert rrfreq(database, constraints, query) == Fraction(1, 4)
+
+    def test_certain_fact_frequency_one(self, figure2):
+        database, constraints = figure2
+        assert rrfreq(database, constraints, boolean_cq(atom("R", "a2", "b1"))) == 1
+
+    def test_zero_for_absent_answer(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", "a1", x),))
+        assert rrfreq(database, constraints, query, ("zzz",)) == 0
+
+    def test_matches_mur_chain(self, running_example):
+        database, constraints, (f1, _, _) = running_example
+        query = boolean_cq(atom("R", "a1", "b1", "c1"))
+        chain = M_UR.chain(database, constraints)
+        assert rrfreq(database, constraints, query) == chain.answer_probability(query)
+
+    def test_rrfreq1_figure2(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        # Singleton repairs: one fact per block; 1/3 of them keep R(a1,b1).
+        assert rrfreq1(database, constraints, query) == Fraction(1, 3)
+
+    def test_rrfreq1_matches_mur1_chain(self, running_example):
+        database, constraints, (f1, _, _) = running_example
+        query = boolean_cq(atom("R", "a1", "b1", "c1"))
+        chain = M_UR1.chain(database, constraints)
+        assert rrfreq1(database, constraints, query) == chain.answer_probability(query)
+
+
+class TestSRFreq:
+    def test_example_c3_value(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        # Example C.3: 24 of the 99 complete sequences keep R(a1, b1).
+        assert srfreq(database, constraints, query) == Fraction(24, 99)
+
+    def test_matches_mus_chain(self, running_example):
+        database, constraints, _ = running_example
+        query = boolean_cq(atom("R", "a1", "b1", "c1"))
+        chain = M_US.chain(database, constraints)
+        assert srfreq(database, constraints, query) == chain.answer_probability(query)
+
+    def test_srfreq1_matches_mus1_chain(self, running_example):
+        database, constraints, _ = running_example
+        query = boolean_cq(atom("R", "a1", "b1", "c1"))
+        chain = M_US1.chain(database, constraints)
+        assert srfreq1(database, constraints, query) == chain.answer_probability(query)
+
+    def test_srfreq_differs_from_rrfreq_in_general(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        assert srfreq(database, constraints, query) != rrfreq(
+            database, constraints, query
+        )
+
+
+class TestExactOCQADispatch:
+    def test_all_generators_on_running_example(self, running_example):
+        database, constraints, _ = running_example
+        query = boolean_cq(atom("R", "a1", "b1", "c1"))
+        for generator in (M_UR, M_US, M_UO, M_UR1, M_US1, M_UO1):
+            chain = generator.chain(database, constraints)
+            assert exact_ocqa(
+                database, constraints, generator, query
+            ) == chain.answer_probability(query), generator.name
+
+    def test_answer_table(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, "b1"),))
+        table = exact_operational_consistent_answers(
+            database, constraints, M_UR, query
+        )
+        assert table[("a2",)] == 1
+        assert table[("a1",)] == Fraction(1, 4)
+        assert table[("a3",)] == Fraction(1, 3)
+
+    def test_answer_table_excludes_zero_rows(self, figure2):
+        database, constraints = figure2
+        query = cq((x,), (atom("R", x, "b3"),))
+        table = exact_operational_consistent_answers(
+            database, constraints, M_UR, query
+        )
+        assert set(table) == {("a1",)}

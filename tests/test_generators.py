@@ -1,0 +1,181 @@
+"""Tests for the uniform generators against the Section 4 worked example."""
+
+from fractions import Fraction
+
+from repro.chains.generators import M_UO, M_UO1, M_UR, M_UR1, M_US, M_US1
+from repro.core.database import Database
+from repro.core.operations import remove
+from repro.core.sequences import sequence
+
+
+def edge_probability(chain, ops):
+    """The label on the edge into the node reached by ``ops``."""
+    node = chain.find(sequence([*ops]))
+    assert node is not None, f"no node for {ops}"
+    return node.edge_probability
+
+
+class TestUniformSequences:
+    def test_section4_probabilities(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = M_US.chain(database, constraints)
+        chain.validate()
+        # p1 = p5 = 3/9, p2 = p3 = p4 = 1/9 (Section 4, uniform sequences).
+        assert edge_probability(chain, [remove(f1)]) == Fraction(3, 9)
+        assert edge_probability(chain, [remove(f3)]) == Fraction(3, 9)
+        assert edge_probability(chain, [remove(f1, f2)]) == Fraction(1, 9)
+        assert edge_probability(chain, [remove(f2)]) == Fraction(1, 9)
+        assert edge_probability(chain, [remove(f2, f3)]) == Fraction(1, 9)
+        # p6..p11 = 1/3.
+        assert edge_probability(chain, [remove(f1), remove(f2)]) == Fraction(1, 3)
+        assert edge_probability(chain, [remove(f3), remove(f1, f2)]) == Fraction(1, 3)
+
+    def test_leaf_distribution_uniform(self, running_example):
+        database, constraints, _ = running_example
+        chain = M_US.chain(database, constraints)
+        distribution = chain.leaf_distribution()
+        assert len(distribution) == 9
+        assert set(distribution.values()) == {Fraction(1, 9)}
+
+    def test_all_leaves_reachable(self, running_example):
+        database, constraints, _ = running_example
+        chain = M_US.chain(database, constraints)
+        assert len(chain.reachable_leaves()) == 9
+
+
+class TestUniformRepairs:
+    def test_section4_probabilities(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = M_UR.chain(database, constraints)
+        chain.validate()
+        # p1 = 3/5, p2 = p5 = 0, p3 = p4 = 1/5 under the DFS ordering.
+        assert edge_probability(chain, [remove(f1)]) == Fraction(3, 5)
+        assert edge_probability(chain, [remove(f1, f2)]) == Fraction(0)
+        assert edge_probability(chain, [remove(f2)]) == Fraction(1, 5)
+        assert edge_probability(chain, [remove(f2, f3)]) == Fraction(1, 5)
+        assert edge_probability(chain, [remove(f3)]) == Fraction(0)
+        # Zero-mass subtrees get the arbitrary uniform fallback (1/3 here).
+        assert edge_probability(chain, [remove(f3), remove(f1)]) == Fraction(1, 3)
+
+    def test_canonical_leaves_match_paper(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        generator = M_UR
+        chain = generator.chain(database, constraints)
+        canonical = {
+            leaf.sequence for leaf in generator.canonical_leaves(chain.root)
+        }
+        assert canonical == {
+            sequence([remove(f1), remove(f2)]),
+            sequence([remove(f1), remove(f3)]),
+            sequence([remove(f1), remove(f2, f3)]),
+            sequence([remove(f2)]),
+            sequence([remove(f2, f3)]),
+        }
+
+    def test_repairs_uniform_over_corep(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = M_UR.chain(database, constraints)
+        repairs = chain.repair_probabilities()
+        expected = {
+            Database([]),
+            Database([f1]),
+            Database([f2]),
+            Database([f3]),
+            Database([f1, f3]),
+        }
+        assert set(repairs) == expected
+        assert set(repairs.values()) == {Fraction(1, 5)}
+
+    def test_reachable_leaves_are_canonical(self, running_example):
+        database, constraints, _ = running_example
+        chain = M_UR.chain(database, constraints)
+        assert len(chain.reachable_leaves()) == 5
+
+    def test_custom_preference_changes_canonicals_not_distribution(
+        self, running_example
+    ):
+        from repro.chains.generators import UniformRepairs
+
+        database, constraints, _ = running_example
+        # Prefer longer sequences: a different ordering over RS(D, Σ).
+        generator = UniformRepairs(preference=lambda s: (-len(s), s.sort_key()))
+        chain = generator.chain(database, constraints)
+        chain.validate()
+        repairs = chain.repair_probabilities()
+        assert set(repairs.values()) == {Fraction(1, 5)}
+        assert len(repairs) == 5
+
+
+class TestUniformOperations:
+    def test_section4_probabilities(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = M_UO.chain(database, constraints)
+        chain.validate()
+        for child in chain.root.children:
+            assert child.edge_probability == Fraction(1, 5)
+        assert edge_probability(chain, [remove(f1), remove(f2)]) == Fraction(1, 3)
+
+    def test_leaf_distribution(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = M_UO.chain(database, constraints)
+        distribution = chain.leaf_distribution()
+        # Two-step leaves have mass 1/15; one-step leaves 1/5.
+        assert distribution[sequence([remove(f2)])] == Fraction(1, 5)
+        assert distribution[sequence([remove(f1), remove(f2)])] == Fraction(1, 15)
+        assert sum(distribution.values()) == 1
+
+
+class TestSingletonVariants:
+    def test_uo1_pair_edges_zero(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = M_UO1.chain(database, constraints)
+        chain.validate()
+        assert edge_probability(chain, [remove(f1, f2)]) == Fraction(0)
+        assert edge_probability(chain, [remove(f1)]) == Fraction(1, 3)
+
+    def test_uo1_reachable_leaves_all_singleton(self, running_example):
+        database, constraints, _ = running_example
+        chain = M_UO1.chain(database, constraints)
+        for leaf in chain.reachable_leaves():
+            assert leaf.sequence.uses_only_singletons()
+
+    def test_us1_uniform_over_singleton_sequences(self, running_example):
+        database, constraints, _ = running_example
+        chain = M_US1.chain(database, constraints)
+        chain.validate()
+        distribution = chain.leaf_distribution()
+        positive = {s: p for s, p in distribution.items() if p > 0}
+        # CRS1 of the running example has 5 sequences.
+        assert len(positive) == 5
+        assert set(positive.values()) == {Fraction(1, 5)}
+        assert all(s.uses_only_singletons() for s in positive)
+
+    def test_ur1_uniform_over_singleton_repairs(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        chain = M_UR1.chain(database, constraints)
+        chain.validate()
+        repairs = chain.repair_probabilities()
+        # Singleton repairs of the running example: {f3}, {f2}, {f1} — the
+        # empty repair needs a pair removal and {f1, f3} stays reachable.
+        expected = {Database([f1, f3]), Database([f2]), Database([f3]), Database([f1])}
+        assert set(repairs) == expected
+        assert set(repairs.values()) == {Fraction(1, 4)}
+
+    def test_generator_names(self):
+        assert M_UR.name == "M_ur"
+        assert M_US.name == "M_us"
+        assert M_UO.name == "M_uo"
+        assert M_UR1.name == "M_ur,1"
+        assert M_US1.name == "M_us,1"
+        assert M_UO1.name == "M_uo,1"
+
+
+class TestTwoFactExample:
+    def test_intro_example_all_generators_agree(self, two_fact_conflict):
+        database, constraints, (alice, tom) = two_fact_conflict
+        for generator in (M_UR, M_US, M_UO):
+            chain = generator.chain(database, constraints)
+            chain.validate()
+            repairs = chain.repair_probabilities()
+            assert set(repairs.values()) == {Fraction(1, 3)}
+            assert len(repairs) == 3

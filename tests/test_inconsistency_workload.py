@@ -1,0 +1,72 @@
+"""Tests for the inconsistency-ratio-controlled workload generator."""
+
+import random
+
+import pytest
+
+from repro.analysis import inconsistency_report
+from repro.core.blocks import block_decomposition
+from repro.workloads.inconsistency import (
+    achieved_inconsistency_ratio,
+    database_with_inconsistency,
+)
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("ratio", [0.0, 0.2, 0.5, 0.8, 1.0])
+    def test_ratio_hit_closely(self, ratio):
+        database, constraints = database_with_inconsistency(
+            40, ratio, block_size=2, rng=random.Random(1)
+        )
+        assert len(database) == 40
+        achieved = achieved_inconsistency_ratio(database, constraints)
+        assert achieved == pytest.approx(ratio, abs=0.08)
+
+    def test_zero_ratio_consistent(self):
+        database, constraints = database_with_inconsistency(10, 0.0)
+        assert constraints.satisfied_by(database)
+        assert achieved_inconsistency_ratio(database, constraints) == 0.0
+
+    def test_full_ratio_all_conflicting(self):
+        database, constraints = database_with_inconsistency(12, 1.0, block_size=3)
+        assert achieved_inconsistency_ratio(database, constraints) == 1.0
+
+    def test_block_size_respected(self):
+        database, constraints = database_with_inconsistency(30, 0.6, block_size=3)
+        decomposition = block_decomposition(database, constraints)
+        conflicting = decomposition.conflicting_blocks()
+        assert conflicting
+        assert all(2 <= len(b) <= 4 for b in conflicting)
+
+    def test_no_stranded_single_conflicting_fact(self):
+        # Odd conflicting counts must not leave a size-one "conflict block".
+        for n, ratio in ((11, 0.45), (13, 0.39), (9, 0.35)):
+            database, constraints = database_with_inconsistency(n, ratio)
+            decomposition = block_decomposition(database, constraints)
+            for block in decomposition:
+                assert len(block) != 1 or not block.has_conflicts
+
+    def test_tiny_ratio_rounds_to_zero_or_two(self):
+        database, constraints = database_with_inconsistency(100, 0.001)
+        report = inconsistency_report(database, constraints)
+        assert report.facts_in_conflict in (0, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            database_with_inconsistency(10, 1.5)
+        with pytest.raises(ValueError):
+            database_with_inconsistency(0, 0.5)
+        with pytest.raises(ValueError):
+            database_with_inconsistency(10, 0.5, block_size=1)
+
+    def test_usable_by_analysis_and_sampling(self):
+        from repro.sampling.repair_sampler import RepairSampler
+
+        database, constraints = database_with_inconsistency(
+            24, 0.5, block_size=2, rng=random.Random(3)
+        )
+        report = inconsistency_report(database, constraints)
+        assert report.inconsistency_ratio == pytest.approx(0.5, abs=0.05)
+        sampler = RepairSampler(database, constraints, rng=random.Random(4))
+        repair = sampler.sample()
+        assert constraints.satisfied_by(repair)

@@ -1,0 +1,164 @@
+"""Integration tests: full workflows across modules."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    M_UO,
+    M_UO1,
+    M_UR,
+    M_US,
+    Database,
+    FDSet,
+    Schema,
+    atom,
+    boolean_cq,
+    cq,
+    fact,
+    fd,
+    key,
+    ocqa_probability,
+    operational_consistent_answers,
+    var,
+)
+from repro.approx.fpras import fpras_ocqa
+from repro.cqa.classical import classical_relative_frequency, consistent_answers
+from repro.exact import exact_ocqa
+from repro.workloads import merged_sources, multikey_database
+
+
+class TestDataIntegrationWorkflow:
+    """The paper's motivating scenario, end to end."""
+
+    def test_intro_example_end_to_end(self):
+        schema = Schema.from_spec({"Emp": ["id", "name"]})
+        constraints = FDSet(schema, [key(schema, "Emp", "id")])
+        database = Database(
+            [fact("Emp", 1, "Alice"), fact("Emp", 1, "Tom")], schema=schema
+        )
+        i, n = var("i"), var("n")
+        query = cq((n,), (atom("Emp", 1, n),))
+        rows = {
+            row.answer: row.probability
+            for row in operational_consistent_answers(
+                database, constraints, M_UR, query
+            )
+        }
+        # Three repairs (Alice, Tom, neither), uniform: each name 1/3.
+        assert rows == {("Alice",): Fraction(1, 3), ("Tom",): Fraction(1, 3)}
+
+    def test_merged_sources_pipeline(self):
+        scenario = merged_sources(8, 3, 0.5, random.Random(12))
+        i, n = var("i"), var("n")
+        query = cq((i,), (atom("Emp", i, n),))
+        exact_rows = operational_consistent_answers(
+            scenario.database, scenario.constraints, M_UR, query
+        )
+        assert len(exact_rows) == 8  # every employee id survives somewhere
+        approx_rows = operational_consistent_answers(
+            scenario.database,
+            scenario.constraints,
+            M_UR,
+            query,
+            method="approx",
+            epsilon=0.25,
+            delta=0.1,
+            rng=random.Random(13),
+        )
+        exact_by_answer = {row.answer: float(row.probability) for row in exact_rows}
+        for row in approx_rows:
+            assert row.probability == pytest.approx(
+                exact_by_answer[row.answer], rel=0.25, abs=0.02
+            )
+
+
+class TestThreeSemanticsComparison:
+    def test_generators_rank_consistently_on_certain_facts(self, figure2):
+        database, constraints = figure2
+        certain = boolean_cq(atom("R", "a2", "b1"))
+        for generator in (M_UR, M_US, M_UO):
+            assert exact_ocqa(database, constraints, generator, certain) == 1
+
+    def test_classical_vs_operational_spectrum(self, figure2):
+        database, constraints = figure2
+        query = boolean_cq(atom("R", "a1", "b1"))
+        classical = classical_relative_frequency(database, constraints, query)
+        operational_ur = exact_ocqa(database, constraints, M_UR, query)
+        operational_us = exact_ocqa(database, constraints, M_US, query)
+        # Classical repairs are maximal, operational ones include deletions
+        # of whole blocks: the operational frequencies are diluted.
+        assert operational_ur < classical
+        assert operational_us < classical
+
+    def test_certain_answers_have_probability_one_under_all(self, figure2):
+        database, constraints = figure2
+        y = var("y")
+        x = var("x")
+        query = cq((x,), (atom("R", x, y),))
+        certain = consistent_answers(database, constraints, query)
+        for generator in (M_UR, M_US, M_UO):
+            rows = {
+                row.answer: row.probability
+                for row in operational_consistent_answers(
+                    database, constraints, generator, query
+                )
+            }
+            # Certainty under *subset* repairs does not imply probability 1
+            # operationally (blocks can be fully deleted) — but the isolated
+            # fact's answer must be 1 under every semantics.
+            assert rows[("a2",)] == 1
+            assert set(certain) <= set(rows)
+
+
+class TestArbitraryKeysWorkflow:
+    def test_multikey_exact_vs_fpras(self):
+        instance = multikey_database(6, max_degree=3, rng=random.Random(21))
+        target = instance.database.sorted_facts()[0]
+        query = boolean_cq(atom(target.relation, *target.values))
+        exact = exact_ocqa(instance.database, instance.constraints, M_UO, query)
+        estimate = fpras_ocqa(
+            instance.database,
+            instance.constraints,
+            M_UO,
+            query,
+            epsilon=0.2,
+            delta=0.05,
+            method="dklr",
+            rng=random.Random(22),
+        )
+        assert estimate.estimate == pytest.approx(float(exact), rel=0.2)
+
+
+class TestNonKeyFDsWorkflow:
+    def test_fd_instance_uo1_pipeline(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        query = boolean_cq(atom("R", "a1", "b1", "c1"))
+        exact = ocqa_probability(database, constraints, M_UO1, query)
+        approx = ocqa_probability(
+            database,
+            constraints,
+            M_UO1,
+            query,
+            method="approx",
+            epsilon=0.25,
+            delta=0.1,
+            rng=random.Random(23),
+        )
+        assert approx.estimate == pytest.approx(float(exact), rel=0.25)
+
+    def test_exact_probabilities_across_generators(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        query = boolean_cq(atom("R", "a2", "b1", "c2"))  # keep f3
+        values = {
+            generator.name: exact_ocqa(database, constraints, generator, query)
+            for generator in (M_UR, M_US, M_UO, M_UO1)
+        }
+        # M_ur: 2 of 5 repairs contain f3 ({f3}, {f1, f3}).
+        assert values["M_ur"] == Fraction(2, 5)
+        # M_us: sequences ending with f3 alive: of the 9, those are
+        # (-f1,-f2), (-{f1,f2}), (-f2) -> 3/9.
+        assert values["M_us"] == Fraction(1, 3)
+        assert 0 < values["M_uo"] < 1
+        assert 0 < values["M_uo,1"] < 1

@@ -1,0 +1,107 @@
+"""Tests for the confidence-interval helpers."""
+
+import random
+
+import pytest
+
+from repro.approx.intervals import (
+    clopper_pearson_interval,
+    interval_for,
+    wilson_interval,
+)
+from repro.approx.montecarlo import EstimateResult
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        interval = wilson_interval(30, 100)
+        assert 0.3 in interval
+        assert interval.method == "wilson"
+
+    def test_bounds_in_unit_interval(self):
+        assert wilson_interval(0, 50).lower == pytest.approx(0.0, abs=1e-12)
+        assert wilson_interval(50, 50).upper == pytest.approx(1.0, abs=1e-12)
+
+    def test_narrows_with_samples(self):
+        wide = wilson_interval(5, 10)
+        narrow = wilson_interval(500, 1000)
+        assert narrow.width < wide.width
+
+    def test_widens_with_confidence(self):
+        assert wilson_interval(30, 100, 0.99).width > wilson_interval(30, 100, 0.90).width
+
+    def test_nonstandard_confidence_level(self):
+        interval = wilson_interval(30, 100, 0.97)
+        assert 0.3 in interval
+        assert 0 < interval.lower < interval.upper < 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=1.0)
+
+    def test_empirical_coverage(self):
+        """~95% of Wilson intervals should cover the true probability."""
+        rng = random.Random(13)
+        true_p = 0.3
+        covered = 0
+        runs = 300
+        for _ in range(runs):
+            hits = sum(1 for _ in range(200) if rng.random() < true_p)
+            if true_p in wilson_interval(hits, 200, 0.95):
+                covered += 1
+        assert covered / runs > 0.9
+
+
+class TestClopperPearson:
+    def test_contains_point_estimate(self):
+        interval = clopper_pearson_interval(30, 100)
+        assert 0.3 in interval
+
+    def test_degenerate_counts(self):
+        zero = clopper_pearson_interval(0, 20)
+        assert zero.lower == 0.0
+        assert zero.upper < 0.25
+        full = clopper_pearson_interval(20, 20)
+        assert full.upper == 1.0
+        assert full.lower > 0.75
+
+    def test_conservative_vs_wilson(self):
+        exact = clopper_pearson_interval(30, 100)
+        wilson = wilson_interval(30, 100)
+        assert exact.width >= wilson.width - 1e-9
+
+    def test_known_value(self):
+        # 0 successes in n trials: upper bound is 1 - (alpha/2)^(1/n).
+        interval = clopper_pearson_interval(0, 10, 0.95)
+        assert interval.upper == pytest.approx(1 - 0.025 ** (1 / 10), abs=1e-6)
+
+
+class TestIntervalFor:
+    def test_from_estimate_result(self):
+        result = EstimateResult(
+            estimate=0.25, samples_used=400, epsilon=0.1, delta=0.05, method="fixed"
+        )
+        interval = interval_for(result)
+        assert 0.25 in interval
+        assert interval.width < 0.1
+
+    def test_requires_samples(self):
+        result = EstimateResult(
+            estimate=0.0, samples_used=0, epsilon=0.1, delta=0.05,
+            method="possibility-zero", certified_zero=True,
+        )
+        with pytest.raises(ValueError):
+            interval_for(result)
+
+    def test_explicit_hits(self):
+        result = EstimateResult(
+            estimate=0.5, samples_used=100, epsilon=0.1, delta=0.05, method="fixed"
+        )
+        interval = interval_for(result, hits=50)
+        assert 0.5 in interval

@@ -1,0 +1,138 @@
+"""Tests for explicit repairing Markov chains (Definition 3.5, Figure 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.chains.markov import (
+    ChainError,
+    RepairingMarkovChain,
+    build_repairing_tree,
+)
+from repro.core.database import Database
+from repro.core.operations import remove
+from repro.core.sequences import EMPTY_SEQUENCE, sequence
+
+
+class TestTreeShape:
+    def test_figure1_node_and_leaf_counts(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        chain = RepairingMarkovChain(database, constraints, root)
+        # Figure 1: the root, 5 children, and 3 + 3 grandchildren = 12 nodes.
+        assert chain.node_count() == 12
+        assert len(chain.leaves()) == 9
+
+    def test_root_is_empty_sequence(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        assert root.sequence == EMPTY_SEQUENCE
+        assert root.state == database
+
+    def test_children_realize_ops(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        root = build_repairing_tree(database, constraints)
+        child_ops = {child.operation for child in root.children}
+        assert child_ops == {
+            remove(f1),
+            remove(f2),
+            remove(f3),
+            remove(f1, f2),
+            remove(f2, f3),
+        }
+
+    def test_figure1_child_order(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        root = build_repairing_tree(database, constraints)
+        ordered = [child.operation for child in root.children]
+        assert ordered == [
+            remove(f1),
+            remove(f1, f2),
+            remove(f2),
+            remove(f2, f3),
+            remove(f3),
+        ]
+
+    def test_leaves_are_complete(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        chain = RepairingMarkovChain(database, constraints, root)
+        for leaf in chain.leaves():
+            assert constraints.satisfied_by(leaf.state)
+            assert leaf.sequence.is_complete(database, constraints)
+
+    def test_max_nodes_guard(self, running_example):
+        database, constraints, _ = running_example
+        with pytest.raises(ChainError):
+            build_repairing_tree(database, constraints, max_nodes=3)
+
+    def test_find_by_sequence(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        root = build_repairing_tree(database, constraints)
+        chain = RepairingMarkovChain(database, constraints, root)
+        node = chain.find(sequence([remove(f1), remove(f2)]))
+        assert node is not None
+        assert node.state == Database([f3])
+        assert chain.find(sequence([remove(f1, f3)])) is None
+
+
+class TestValidation:
+    def test_unannotated_chain_fails_validation(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        chain = RepairingMarkovChain(database, constraints, root)
+        with pytest.raises(ChainError):
+            chain.validate()
+
+    def test_bad_probability_sum_detected(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        for node in RepairingMarkovChain(database, constraints, root).nodes():
+            for child in node.children:
+                child.edge_probability = Fraction(1, 2)  # sums exceed 1
+        chain = RepairingMarkovChain(database, constraints, root)
+        with pytest.raises(ChainError):
+            chain.validate()
+
+    def test_probability_outside_unit_interval_detected(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        chain = RepairingMarkovChain(database, constraints, root)
+        for node in chain.nodes():
+            n = len(node.children)
+            for child in node.children:
+                child.edge_probability = Fraction(1, n)
+        first_child = root.children[0]
+        first_child.edge_probability = Fraction(3, 2)
+        with pytest.raises(ChainError):
+            chain.validate()
+
+    def test_missing_child_detected(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        dropped = root.children.pop()
+        chain = RepairingMarkovChain(database, constraints, root)
+        for node in chain.nodes():
+            n = len(node.children)
+            for child in node.children:
+                child.edge_probability = Fraction(1, n)
+        with pytest.raises(ChainError):
+            chain.validate()
+        root.children.append(dropped)
+
+    def test_arbitrary_valid_annotation_passes(self, running_example):
+        database, constraints, _ = running_example
+        root = build_repairing_tree(database, constraints)
+        chain = RepairingMarkovChain(database, constraints, root)
+        for node in chain.nodes():
+            children = node.children
+            if not children:
+                continue
+            # Put all mass on the first child: a legal, degenerate chain.
+            children[0].edge_probability = Fraction(1)
+            for child in children[1:]:
+                child.edge_probability = Fraction(0)
+        chain.validate()
+        distribution = chain.leaf_distribution()
+        assert sum(distribution.values()) == 1
+        assert len(chain.reachable_leaves()) == 1

@@ -1,0 +1,116 @@
+"""Tests for polynomial M_us transition probabilities (Definition A.3)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.chains.generators import M_US, M_US1
+from repro.core.operations import remove
+from repro.core.sequences import sequence
+from repro.counting.crs_count import count_crs
+from repro.counting.mus_transitions import (
+    mus_edge_probability,
+    mus_outgoing_distribution,
+    mus_sequence_probability,
+)
+from repro.sampling.sequence_sampler import SequenceSampler
+from repro.workloads import block_database, figure2_database
+
+
+class TestEdgeProbabilities:
+    def test_match_explicit_chain(self, figure2):
+        database, constraints = figure2
+        chain = M_US.chain(database, constraints, max_nodes=500_000)
+        for child in chain.root.children:
+            assert mus_edge_probability(
+                database, child.operation, constraints
+            ) == child.edge_probability
+
+    def test_match_explicit_chain_deeper(self, figure2):
+        database, constraints = figure2
+        chain = M_US.chain(database, constraints, max_nodes=500_000)
+        node = chain.root.children[0]
+        state = node.state
+        for child in node.children:
+            assert mus_edge_probability(
+                state, child.operation, constraints
+            ) == child.edge_probability
+
+    def test_unjustified_operation_rejected(self, figure2):
+        database, constraints = figure2
+        from repro.core.facts import fact
+
+        with pytest.raises(ValueError):
+            mus_edge_probability(
+                database,
+                remove(fact("R", "a1", "b1"), fact("R", "a3", "b1")),
+                constraints,
+            )
+
+    def test_outgoing_distribution_sums_to_one(self, figure2):
+        database, constraints = figure2
+        distribution = mus_outgoing_distribution(database, constraints)
+        assert sum(distribution.values()) == 1
+
+    def test_singleton_distribution(self, figure2):
+        database, constraints = figure2
+        distribution = mus_outgoing_distribution(
+            database, constraints, singleton_only=True
+        )
+        assert sum(distribution.values()) == 1
+        assert all(p == 0 for op, p in distribution.items() if op.is_pair)
+
+
+class TestPathProbabilities:
+    def test_complete_sequences_uniform(self, figure2):
+        """Proposition A.4: every complete sequence has mass 1/|CRS|."""
+        database, constraints = figure2
+        total = count_crs(database, constraints)
+        sampler = SequenceSampler(database, constraints, rng=random.Random(3))
+        for _ in range(10):
+            sampled = sampler.sample()
+            assert mus_sequence_probability(
+                sampled, database, constraints
+            ) == Fraction(1, total)
+
+    def test_prefix_probability_matches_chain(self, figure2):
+        database, constraints = figure2
+        chain = M_US.chain(database, constraints, max_nodes=500_000)
+        distribution = chain.leaf_distribution()
+        # A couple of arbitrary leaves, exact match of the full path mass.
+        for leaf_sequence, mass in list(distribution.items())[:5]:
+            assert mus_sequence_probability(
+                leaf_sequence, database, constraints
+            ) == mass
+
+    def test_singleton_paths_uniform(self):
+        database, constraints = block_database([3, 2])
+        from repro.counting.crs_count import count_crs1
+
+        total = count_crs1(database, constraints)
+        sampler = SequenceSampler(
+            database, constraints, singleton_only=True, rng=random.Random(4)
+        )
+        for _ in range(10):
+            sampled = sampler.sample()
+            assert mus_sequence_probability(
+                sampled, database, constraints, singleton_only=True
+            ) == Fraction(1, total)
+
+    def test_pair_operation_has_zero_mass_in_singleton_chain(self, figure2):
+        database, constraints = figure2
+        from repro.core.facts import fact
+
+        pair = remove(fact("R", "a1", "b1"), fact("R", "a1", "b2"))
+        path = sequence([pair])
+        assert mus_sequence_probability(
+            path, database, constraints, singleton_only=True
+        ) == 0
+
+    def test_polynomial_at_scale(self):
+        """Edge labels on instances far beyond explicit-chain reach."""
+        database, constraints = block_database([6] * 30)
+        target = database.sorted_facts()[0]
+        probability = mus_edge_probability(database, remove(target), constraints)
+        assert 0 < probability < 1

@@ -1,0 +1,140 @@
+"""Additional property-based tests: queries, serialization, local chains."""
+
+import random
+from fractions import Fraction
+from itertools import product
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chains.trust import TrustWeightedOperations
+from repro.core.database import Database
+from repro.core.dependencies import FDSet, fd
+from repro.core.facts import fact
+from repro.core.queries import Atom, ConjunctiveQuery, Variable
+from repro.core.schema import Schema
+from repro.exact import rrfreq
+from repro.exact.possibility import answer_is_possible
+from repro.io import format_query, instance_from_dict, instance_to_dict, parse_query
+
+# -- strategies -------------------------------------------------------------------
+
+constants = st.integers(min_value=0, max_value=2)
+variables = st.sampled_from([Variable("x"), Variable("y"), Variable("z")])
+terms = st.one_of(constants, variables)
+
+
+@st.composite
+def small_queries(draw):
+    """Random CQs over E/2 and V/1 with up to three atoms."""
+    n_atoms = draw(st.integers(min_value=1, max_value=3))
+    atoms = []
+    for _ in range(n_atoms):
+        if draw(st.booleans()):
+            atoms.append(Atom("E", (draw(terms), draw(terms))))
+        else:
+            atoms.append(Atom("V", (draw(terms),)))
+    body_vars = sorted(
+        {t for a in atoms for t in a.terms if isinstance(t, Variable)},
+        key=lambda v: v.name,
+    )
+    n_answers = draw(st.integers(min_value=0, max_value=len(body_vars)))
+    answer_vars = tuple(body_vars[:n_answers])
+    return ConjunctiveQuery(answer_vars, tuple(atoms))
+
+
+@st.composite
+def small_graph_databases(draw):
+    """Random databases over E/2, V/1 with a tiny domain."""
+    facts = set()
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        facts.add(fact("E", draw(constants), draw(constants)))
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        facts.add(fact("V", draw(constants)))
+    return Database(facts)
+
+
+def naive_answers(query: ConjunctiveQuery, database: Database):
+    """Ground-truth CQ evaluation: try every assignment over dom(D)."""
+    domain = sorted(database.active_domain(), key=repr)
+    body_vars = sorted(query.variables(), key=lambda v: v.name)
+    found = set()
+    if not domain and body_vars:
+        return frozenset()
+    for values in product(domain, repeat=len(body_vars)):
+        assignment = dict(zip(body_vars, values))
+        if all(a.ground(assignment) in database for a in query.atoms):
+            found.add(tuple(assignment[v] for v in query.answer_variables))
+    return frozenset(found)
+
+
+@given(query=small_queries(), database=small_graph_databases())
+@settings(max_examples=80, deadline=None)
+def test_query_evaluation_matches_naive(query, database):
+    assert query.answers(database) == naive_answers(query, database)
+
+
+@given(query=small_queries())
+@settings(max_examples=60, deadline=None)
+def test_query_text_round_trip(query):
+    assert parse_query(format_query(query)) == query
+
+
+# -- serialization properties -----------------------------------------------------------
+
+
+@st.composite
+def small_instances(draw):
+    schema = Schema.from_spec({"R": ["A", "B"]})
+    facts = set()
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        facts.add(fact("R", draw(constants), draw(constants)))
+    constraints = FDSet(schema, [fd("R", "A", "B")])
+    return Database(facts, schema=schema), constraints
+
+
+@given(instance=small_instances())
+@settings(max_examples=40, deadline=None)
+def test_instance_round_trip(instance):
+    database, constraints = instance
+    loaded_db, loaded_fds = instance_from_dict(instance_to_dict(database, constraints))
+    assert loaded_db == database
+    assert loaded_fds == constraints
+
+
+# -- local-chain properties -----------------------------------------------------------------
+
+
+@given(
+    instance=small_instances(),
+    trust_values=st.lists(
+        st.fractions(min_value=0, max_value=1), min_size=0, max_size=4
+    ),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_trust_distribution_is_a_distribution(instance, trust_values):
+    database, constraints = instance
+    mapping = dict(zip(database.sorted_facts(), trust_values))
+    generator = TrustWeightedOperations.with_trust(mapping)
+    distribution = generator.operation_distribution(database, constraints)
+    total = sum(distribution.values(), Fraction(0))
+    if constraints.satisfied_by(database):
+        assert distribution == {}
+    else:
+        assert total == 1
+        assert all(0 <= p <= 1 for p in distribution.values())
+
+
+# -- possibility-test properties ----------------------------------------------------------------
+
+
+@given(instance=small_instances())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_possibility_agrees_with_rrfreq(instance):
+    database, constraints = instance
+    if not len(database):
+        return
+    target = database.sorted_facts()[0]
+    query = ConjunctiveQuery((), (Atom("R", target.values),))
+    possible = answer_is_possible(database, constraints, query)
+    assert possible == (rrfreq(database, constraints, query) > 0)

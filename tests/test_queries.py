@@ -1,0 +1,140 @@
+"""Unit tests for conjunctive queries and homomorphism evaluation."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.queries import (
+    ConjunctiveQuery,
+    QueryError,
+    atom,
+    boolean_cq,
+    cq,
+    var,
+)
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+@pytest.fixture
+def edge_db():
+    """A small directed 'graph' database: E(1,2), E(2,3), E(3,1)."""
+    return Database([fact("E", 1, 2), fact("E", 2, 3), fact("E", 3, 1)])
+
+
+class TestConstruction:
+    def test_unsafe_answer_variable_rejected(self):
+        with pytest.raises(QueryError):
+            cq((x,), (atom("E", y, z),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((), ())
+
+    def test_boolean_flag(self):
+        assert boolean_cq(atom("E", x, y)).is_boolean
+        assert not cq((x,), (atom("E", x, y),)).is_boolean
+
+    def test_atomic_flag(self):
+        assert boolean_cq(atom("E", x, y)).is_atomic
+        assert not boolean_cq(atom("E", x, y), atom("E", y, z)).is_atomic
+
+    def test_variables_and_constants(self):
+        query = boolean_cq(atom("E", x, 1), atom("E", 1, y))
+        assert query.variables() == frozenset({x, y})
+        assert query.constants() == frozenset({1})
+
+    def test_atom_count(self):
+        query = boolean_cq(atom("E", x, y), atom("E", y, z))
+        assert query.atom_count() == 2
+
+    def test_str(self):
+        query = cq((x,), (atom("E", x, 1),))
+        assert str(query) == "Ans(?x) :- E(?x, 1)"
+
+
+class TestEvaluation:
+    def test_answers_simple(self, edge_db):
+        query = cq((x,), (atom("E", x, y),))
+        assert query.answers(edge_db) == frozenset({(1,), (2,), (3,)})
+
+    def test_answers_with_constant(self, edge_db):
+        query = cq((x,), (atom("E", x, 2),))
+        assert query.answers(edge_db) == frozenset({(1,)})
+
+    def test_join(self, edge_db):
+        query = cq((x, z), (atom("E", x, y), atom("E", y, z)))
+        assert (1, 3) in query.answers(edge_db)
+        assert (1, 2) not in query.answers(edge_db)
+
+    def test_boolean_entailment(self, edge_db):
+        triangle = boolean_cq(atom("E", x, y), atom("E", y, z), atom("E", z, x))
+        assert triangle.entails(edge_db)
+
+    def test_boolean_failure(self):
+        query = boolean_cq(atom("E", x, x))
+        db = Database([fact("E", 1, 2)])
+        assert not query.entails(db)
+
+    def test_self_loop_matching(self):
+        query = boolean_cq(atom("E", x, x))
+        db = Database([fact("E", 1, 1)])
+        assert query.entails(db)
+
+    def test_entails_specific_answer(self, edge_db):
+        query = cq((x, y), (atom("E", x, y),))
+        assert query.entails(edge_db, (1, 2))
+        assert not query.entails(edge_db, (2, 1))
+
+    def test_entails_wrong_arity_raises(self, edge_db):
+        query = cq((x,), (atom("E", x, y),))
+        with pytest.raises(QueryError):
+            query.entails(edge_db, (1, 2))
+
+    def test_repeated_answer_variable(self, edge_db):
+        query = cq((x, x), (atom("E", x, y),))
+        assert query.entails(edge_db, (1, 1))
+        assert not query.entails(edge_db, (1, 2))
+
+    def test_homomorphisms_with_fixed_binding(self, edge_db):
+        query = boolean_cq(atom("E", x, y))
+        fixed = {x: 1}
+        homs = list(query.homomorphisms(edge_db, fixed=fixed))
+        assert homs == [{x: 1, y: 2}]
+
+    def test_image(self):
+        query = boolean_cq(atom("E", x, y))
+        assert query.image({x: 1, y: 2}) == frozenset({fact("E", 1, 2)})
+
+    def test_image_unbound_variable_raises(self):
+        query = boolean_cq(atom("E", x, y))
+        with pytest.raises(QueryError):
+            query.image({x: 1})
+
+    def test_empty_database_no_answers(self):
+        query = cq((x,), (atom("E", x, y),))
+        assert query.answers(Database()) == frozenset()
+
+    def test_missing_relation_no_answers(self, edge_db):
+        query = boolean_cq(atom("F", x, y))
+        assert not query.entails(edge_db)
+
+    def test_arity_mismatch_facts_skipped(self):
+        query = boolean_cq(atom("E", x))
+        db = Database([fact("E", 1, 2)])
+        assert not query.entails(db)
+
+    def test_constants_only_atom(self, edge_db):
+        query = boolean_cq(atom("E", 1, 2))
+        assert query.entails(edge_db)
+        assert not boolean_cq(atom("E", 2, 1)).entails(edge_db)
+
+    def test_distinct_homs_same_answer_deduplicated(self):
+        db = Database([fact("E", 1, 2), fact("E", 1, 3)])
+        query = cq((x,), (atom("E", x, y),))
+        assert query.answers(db) == frozenset({(1,)})
+
+    def test_cross_product_query(self):
+        db = Database([fact("A", 1), fact("B", 2)])
+        query = cq((x, y), (atom("A", x), atom("B", y)))
+        assert query.answers(db) == frozenset({(1, 2)})

@@ -1,0 +1,81 @@
+"""Unit tests for relational schemas."""
+
+import pytest
+
+from repro.core.schema import RelationSchema, Schema, SchemaError
+
+
+class TestRelationSchema:
+    def test_arity_matches_attribute_count(self):
+        rel = RelationSchema("R", ("A", "B", "C"))
+        assert rel.arity == 3
+
+    def test_attribute_set(self):
+        rel = RelationSchema("R", ("A", "B"))
+        assert rel.attribute_set() == frozenset({"A", "B"})
+
+    def test_position_lookup(self):
+        rel = RelationSchema("R", ("A", "B", "C"))
+        assert rel.position_of("B") == 1
+        assert rel.positions_of(["C", "A"]) == (2, 0)
+
+    def test_unknown_attribute_raises(self):
+        rel = RelationSchema("R", ("A",))
+        with pytest.raises(SchemaError):
+            rel.position_of("Z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_str_renders_attributes(self):
+        assert str(RelationSchema("R", ("A", "B"))) == "R(A, B)"
+
+
+class TestSchema:
+    def test_from_spec_and_lookup(self):
+        schema = Schema.from_spec({"R": ["A", "B"], "S": ["X"]})
+        assert schema.relation("R").arity == 2
+        assert schema.relation("S").attributes == ("X",)
+
+    def test_contains_and_len(self):
+        schema = Schema.from_spec({"R": ["A"]})
+        assert "R" in schema
+        assert "S" not in schema
+        assert len(schema) == 1
+
+    def test_missing_relation_raises(self):
+        schema = Schema.from_spec({"R": ["A"]})
+        with pytest.raises(SchemaError):
+            schema.relation("S")
+
+    def test_duplicate_relation_rejected(self):
+        rel = RelationSchema("R", ("A",))
+        with pytest.raises(SchemaError):
+            Schema.of(rel, rel)
+
+    def test_mismatched_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"S": RelationSchema("R", ("A",))})
+
+    def test_names(self):
+        schema = Schema.from_spec({"R": ["A"], "S": ["B"]})
+        assert schema.names() == frozenset({"R", "S"})
+
+    def test_iteration_yields_relations(self):
+        schema = Schema.from_spec({"R": ["A"], "S": ["B"]})
+        assert {rel.name for rel in schema} == {"R", "S"}
+
+    def test_schemas_hashable_and_equal(self):
+        first = Schema.from_spec({"R": ["A", "B"]})
+        second = Schema.from_spec({"R": ["A", "B"]})
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,104 @@
+"""Unit tests for repairing sequences (Definition 3.4)."""
+
+from repro.core.database import Database
+from repro.core.operations import remove
+from repro.core.sequences import EMPTY_SEQUENCE, RepairingSequence, sequence
+
+
+class TestStructure:
+    def test_empty_sequence(self):
+        assert EMPTY_SEQUENCE.is_empty
+        assert len(EMPTY_SEQUENCE) == 0
+        assert str(EMPTY_SEQUENCE) == "ε"
+
+    def test_extend(self, running_example):
+        _, _, (f1, _, _) = running_example
+        extended = EMPTY_SEQUENCE.extend(remove(f1))
+        assert len(extended) == 1
+        assert extended[0] == remove(f1)
+
+    def test_prefixes(self, running_example):
+        _, _, (f1, f2, _) = running_example
+        s = sequence([remove(f1), remove(f2)])
+        prefixes = list(s.prefixes())
+        assert prefixes[0] == EMPTY_SEQUENCE
+        assert prefixes[1] == sequence([remove(f1)])
+        assert prefixes[2] == s
+
+    def test_is_prefix_of(self, running_example):
+        _, _, (f1, f2, _) = running_example
+        short = sequence([remove(f1)])
+        long = sequence([remove(f1), remove(f2)])
+        assert short.is_prefix_of(long)
+        assert not long.is_prefix_of(short)
+        assert EMPTY_SEQUENCE.is_prefix_of(short)
+
+    def test_uses_only_singletons(self, running_example):
+        _, _, (f1, f2, f3) = running_example
+        assert sequence([remove(f1), remove(f2)]).uses_only_singletons()
+        assert not sequence([remove(f1), remove(f2, f3)]).uses_only_singletons()
+
+    def test_removed_facts(self, running_example):
+        _, _, (f1, f2, f3) = running_example
+        s = sequence([remove(f1), remove(f2, f3)])
+        assert s.removed_facts() == frozenset({f1, f2, f3})
+
+    def test_ordering_deterministic(self, running_example):
+        _, _, (f1, f2, _) = running_example
+        a = sequence([remove(f1)])
+        b = sequence([remove(f2)])
+        assert (a < b) != (b < a)
+
+
+class TestSemantics:
+    def test_apply_and_states(self, running_example):
+        database, _, (f1, f2, f3) = running_example
+        s = sequence([remove(f1), remove(f2)])
+        assert s.apply(database) == Database([f3])
+        states = s.states(database)
+        assert states[0] == database
+        assert states[1] == Database([f2, f3])
+        assert states[2] == Database([f3])
+
+    def test_callable_alias(self, running_example):
+        database, _, (f1, _, _) = running_example
+        s = sequence([remove(f1)])
+        assert s(database) == s.apply(database)
+
+    def test_empty_sequence_is_repairing(self, running_example):
+        database, constraints, _ = running_example
+        assert EMPTY_SEQUENCE.is_repairing(database, constraints)
+        assert not EMPTY_SEQUENCE.is_complete(database, constraints)
+
+    def test_paper_sequence_is_complete(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        s = sequence([remove(f1), remove(f2, f3)])
+        assert s.is_repairing(database, constraints)
+        assert s.is_complete(database, constraints)
+        assert s.apply(database) == Database([])
+
+    def test_unjustified_step_not_repairing(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        # -{f1, f3} is never justified: those facts do not jointly violate.
+        s = sequence([remove(f1, f3)])
+        assert not s.is_repairing(database, constraints)
+
+    def test_justification_checked_at_intermediate_state(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        # After removing f2 the database is consistent; no further operation
+        # is justified, so -f1 afterwards breaks the repairing property.
+        s = sequence([remove(f2), remove(f1)])
+        assert not s.is_repairing(database, constraints)
+
+    def test_incomplete_repairing_sequence(self, running_example):
+        database, constraints, (f1, _, _) = running_example
+        s = sequence([remove(f1)])
+        assert s.is_repairing(database, constraints)
+        assert not s.is_complete(database, constraints)
+
+    def test_length_linear_in_database(self, running_example):
+        database, constraints, _ = running_example
+        from repro.exact import complete_sequences
+
+        for s, _ in complete_sequences(database, constraints):
+            assert len(s) <= len(database)

@@ -1,0 +1,146 @@
+"""Unit tests for FD violations and justified operations (Defs 3.1-3.3)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.dependencies import FDSet, fd
+from repro.core.facts import fact
+from repro.core.operations import (
+    Operation,
+    apply_all,
+    is_justified,
+    justified_operations,
+    remove,
+    sorted_justified_operations,
+)
+from repro.core.schema import Schema
+from repro.core.violations import (
+    facts_in_violation,
+    is_consistent,
+    violating_fact_pairs,
+    violations,
+)
+
+
+class TestViolations:
+    def test_running_example_violations(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        found = violations(database, constraints)
+        rendered = {(str(v.dependency), v.facts) for v in found}
+        assert rendered == {
+            ("R: A -> B", frozenset({f1, f2})),
+            ("R: C -> B", frozenset({f2, f3})),
+        }
+
+    def test_consistent_database_has_no_violations(self):
+        schema = Schema.from_spec({"R": ["A", "B"]})
+        constraints = FDSet(schema, [fd("R", "A", "B")])
+        database = Database([fact("R", 1, "x"), fact("R", 2, "y")], schema=schema)
+        assert violations(database, constraints) == frozenset()
+        assert is_consistent(database, constraints)
+
+    def test_violating_fact_pairs_are_conflict_edges(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        assert violating_fact_pairs(database, constraints) == frozenset(
+            {frozenset({f1, f2}), frozenset({f2, f3})}
+        )
+
+    def test_facts_in_violation(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        assert facts_in_violation(database, constraints) == frozenset({f1, f2, f3})
+
+    def test_violation_requires_two_facts(self, running_example):
+        from repro.core.violations import Violation
+
+        _, constraints, (f1, _, _) = running_example
+        dependency = next(iter(constraints))
+        with pytest.raises(ValueError):
+            Violation(dependency, frozenset({f1}))
+
+    def test_block_violations_quadratic_in_block(self, figure2):
+        database, constraints = figure2
+        pairs = violating_fact_pairs(database, constraints)
+        # Block of 3 gives C(3,2)=3 pairs; block of 2 gives 1; singleton none.
+        assert len(pairs) == 4
+
+
+class TestOperations:
+    def test_empty_operation_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(frozenset())
+
+    def test_apply_removes_facts(self):
+        f, g = fact("R", 1, 2), fact("R", 3, 4)
+        db = Database([f, g])
+        assert remove(f).apply(db) == Database([g])
+        assert remove(f, g)(db) == Database([])
+
+    def test_apply_is_monotone_under_missing_facts(self):
+        f, g = fact("R", 1, 2), fact("R", 3, 4)
+        db = Database([g])
+        assert remove(f).apply(db) == db
+
+    def test_kind_flags(self):
+        f, g = fact("R", 1, 2), fact("R", 3, 4)
+        assert remove(f).is_singleton
+        assert remove(f, g).is_pair
+
+    def test_str_forms(self):
+        f, g = fact("R", 1, 2), fact("R", 3, 4)
+        assert str(remove(f)) == "-R(1, 2)"
+        assert str(remove(f, g)) == "-{R(1, 2), R(3, 4)}"
+
+    def test_justified_operations_running_example(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        ops = justified_operations(database, constraints)
+        expected = {
+            remove(f1),
+            remove(f2),
+            remove(f3),
+            remove(f1, f2),
+            remove(f2, f3),
+        }
+        assert ops == expected
+
+    def test_singleton_only_excludes_pairs(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        ops = justified_operations(database, constraints, singleton_only=True)
+        assert ops == {remove(f1), remove(f2), remove(f3)}
+
+    def test_is_justified_definition(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        assert is_justified(remove(f1), database, constraints)
+        assert is_justified(remove(f2, f3), database, constraints)
+        # f1 and f3 do not jointly violate anything.
+        assert not is_justified(remove(f1, f3), database, constraints)
+
+    def test_justified_empty_on_consistent_state(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        repaired = database.difference([f2])
+        assert justified_operations(repaired, constraints) == frozenset()
+
+    def test_sorted_operations_deterministic(self, running_example):
+        database, constraints, _ = running_example
+        ordered = sorted_justified_operations(database, constraints)
+        assert [str(op) for op in ordered] == sorted(
+            (str(op) for op in ordered[:3]), key=str
+        ) + [str(op) for op in ordered[3:]]
+        # Singletons come first under sort_key.
+        assert all(op.is_singleton for op in ordered[:3])
+
+    def test_apply_all(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        result = apply_all(database, [remove(f1), remove(f2)])
+        assert result == Database([f3])
+
+    def test_lex_key_matches_figure1_order(self, running_example):
+        database, constraints, (f1, f2, f3) = running_example
+        ops = sorted(justified_operations(database, constraints), key=lambda o: o.lex_key())
+        rendered = [str(op) for op in ops]
+        assert rendered == [
+            "-R('a1', 'b1', 'c1')",
+            "-{R('a1', 'b1', 'c1'), R('a1', 'b2', 'c2')}",
+            "-R('a1', 'b2', 'c2')",
+            "-{R('a1', 'b2', 'c2'), R('a2', 'b1', 'c2')}",
+            "-R('a2', 'b1', 'c2')",
+        ]
