@@ -21,6 +21,10 @@ def main() -> int:
         "-m",
         "pytest",
         str(here),
+        # Bench modules are named bench_*.py, outside pytest's default
+        # test-file pattern, so they need an explicit collection override.
+        "-o",
+        "python_files=bench_*.py",
         "--benchmark-disable",
         "-q",
         "-s",

@@ -5,7 +5,8 @@ Schneider, *Uniform Operational Consistent Query Answering* (PODS 2022,
 arXiv:2204.10592): the operational repair framework, the three uniform
 repairing Markov chain generators and their singleton-operation variants,
 exact engines, polynomial counters and samplers, FPRAS wrappers, the
-hardness reductions as runnable constructions, and a classical-CQA baseline.
+hardness reductions as runnable constructions, a classical-CQA baseline,
+and a batched estimation engine that shares sample pools across requests.
 
 Quickstart::
 
@@ -14,7 +15,7 @@ Quickstart::
         M_UR, M_US, M_UO, operational_consistent_answers,
     )
 
-See ``examples/quickstart.py`` and README.md.
+See ``examples/quickstart.py``, ``README.md`` and ``docs/ARCHITECTURE.md``.
 """
 
 from .approx import (
@@ -64,6 +65,13 @@ from .cqa import (
     operational_consistent_answers,
     subset_repairs,
 )
+from .engine import (
+    BatchRequest,
+    BatchResult,
+    EstimationSession,
+    SamplePool,
+    batch_estimate,
+)
 from .exact import exact_ocqa, rrfreq, rrfreq1, srfreq, srfreq1
 from .exact.possibility import answer_is_possible, witnessing_repair
 from .chains.local import (
@@ -81,7 +89,13 @@ from .analysis import (
     inconsistency_report,
     repair_distribution,
 )
-from .io import load_instance, parse_query, save_instance
+from .io import (
+    load_instance,
+    load_workload,
+    parse_query,
+    save_instance,
+    workload_from_dict,
+)
 
 __version__ = "1.0.0"
 
@@ -95,18 +109,24 @@ __all__ = [
     "expected_answer_count",
     "expected_repair_size",
     "fact_survival_probability",
+    "batch_estimate",
     "inconsistency_report",
     "load_instance",
+    "load_workload",
     "local_answer_probability",
     "local_repair_distribution",
     "parse_query",
     "repair_distribution",
     "save_instance",
     "witnessing_repair",
+    "workload_from_dict",
+    "BatchRequest",
+    "BatchResult",
     "ConflictGraph",
     "ConjunctiveQuery",
     "Database",
     "EstimateResult",
+    "EstimationSession",
     "FDSet",
     "FPRASUnavailable",
     "Fact",
@@ -122,6 +142,7 @@ __all__ = [
     "RelationSchema",
     "RepairingMarkovChain",
     "RepairingSequence",
+    "SamplePool",
     "Schema",
     "UniformOperations",
     "UniformRepairs",

@@ -16,39 +16,30 @@ Generator              Constraint class      Paper result
 Combinations outside the table raise :class:`FPRASUnavailable` with the
 paper's negative/open status, rather than silently returning an estimate
 with no guarantee.
+
+Since the batched engine landed, each call is a thin per-call view over a
+fresh :class:`~repro.engine.session.EstimationSession`; callers estimating
+many answers over one instance should hold a session (or use
+:func:`~repro.engine.batch.batch_estimate`) to share the sampling pass —
+results are bit-for-bit identical either way under the same seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable
 
-from ..chains.generators import (
-    MarkovChainGenerator,
-    UniformOperations,
-    UniformRepairs,
-    UniformSequences,
-)
+from ..chains.generators import MarkovChainGenerator
 from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.queries import ConjunctiveQuery
-from ..sampling.operations_sampler import UniformOperationsSampler
-from ..sampling.repair_sampler import RepairSampler
-from ..sampling.rng import resolve_rng
-from ..sampling.sequence_sampler import SequenceSampler
-from .bounds import (
-    rrfreq_lower_bound,
-    singleton_frequency_lower_bound,
-    srfreq_lower_bound,
-    uo_singleton_fd_lower_bound,
-)
-from .montecarlo import (
-    EstimateResult,
-    bernoulli_stream,
-    chernoff_sample_size,
-    fixed_sample_estimate,
-    stopping_rule_estimate,
-)
+from .montecarlo import EstimateResult
+
+__all__ = [
+    "AUTO_FIXED_BUDGET",
+    "FPRASUnavailable",
+    "fixed_budget_estimate",
+    "fpras_ocqa",
+]
 
 #: Above this fixed-N budget, ``method="auto"`` switches to the adaptive
 #: stopping rule so the theoretical-but-huge bounds stay usable in practice.
@@ -57,63 +48,6 @@ AUTO_FIXED_BUDGET = 2_000_000
 
 class FPRASUnavailable(RuntimeError):
     """No FPRAS is known (or one is ruled out) for the requested combination."""
-
-
-def _entailment_sampler(
-    database: Database,
-    constraints: FDSet,
-    generator: MarkovChainGenerator,
-    query: ConjunctiveQuery,
-    answer: tuple,
-    rng: random.Random,
-) -> tuple[Callable[[], bool], float]:
-    """The Bernoulli sampler and positivity bound for a supported combination."""
-    singleton = generator.singleton_only
-    if isinstance(generator, UniformRepairs):
-        if not constraints.is_primary_keys():
-            raise FPRASUnavailable(
-                "M_ur beyond primary keys: no FPRAS for FDs unless RP = NP "
-                "(Theorem 5.1(3)); keys are open (Prop 5.5 rules out repair "
-                "counting)."
-            )
-        sampler = RepairSampler(database, constraints, singleton, rng)
-        bound = (
-            singleton_frequency_lower_bound(database, query)
-            if singleton
-            else rrfreq_lower_bound(database, query)
-        )
-        return (lambda: query.entails(sampler.sample(), answer)), float(bound)
-    if isinstance(generator, UniformSequences):
-        if not constraints.is_primary_keys():
-            raise FPRASUnavailable(
-                "M_us beyond primary keys is open; the paper conjectures no "
-                "FPRAS even for keys (Section 6)."
-            )
-        sampler = SequenceSampler(database, constraints, singleton, rng)
-        bound = (
-            singleton_frequency_lower_bound(database, query)
-            if singleton
-            else srfreq_lower_bound(database, query)
-        )
-        return (lambda: query.entails(sampler.sample_result(), answer)), float(bound)
-    if isinstance(generator, UniformOperations):
-        if singleton:
-            walker = UniformOperationsSampler(database, constraints, True, rng)
-            bound = uo_singleton_fd_lower_bound(database, query)
-            return (lambda: query.entails(walker.sample(), answer)), float(bound)
-        if not constraints.all_keys():
-            raise FPRASUnavailable(
-                "M_uo with non-key FDs: the target probability can be "
-                "exponentially small (Prop D.6), so Monte Carlo cannot give "
-                "an FPRAS; use M_uo,1 (Theorem 7.5) instead."
-            )
-        walker = UniformOperationsSampler(database, constraints, False, rng)
-        # Prop 7.3's explicit polynomial bound is astronomically small; the
-        # auto method therefore prefers the adaptive stopping rule.  A
-        # pragmatic floor keeps fixed-N runs possible on small inputs.
-        bound = rrfreq_lower_bound(database, query)
-        return (lambda: query.entails(walker.sample(), answer)), float(bound)
-    raise FPRASUnavailable(f"no FPRAS dispatch for generator {generator.name!r}")
 
 
 def fpras_ocqa(
@@ -140,34 +74,19 @@ def fpras_ocqa(
     * ``"auto"`` — ``"fixed"`` when the implied budget is at most
       ``AUTO_FIXED_BUDGET``, else ``"dklr"``.
     """
-    rng = resolve_rng(rng)
-    predicate, theoretical_bound = _entailment_sampler(
-        database, constraints, generator, query, answer, rng
-    )
-    from ..exact.possibility import answer_is_possible
+    from ..engine.session import EstimationSession
 
-    if not answer_is_possible(database, constraints, query, answer):
-        # The polynomial zero-test: no conflict-free image of the query
-        # exists, so the probability is exactly 0 under every generator —
-        # certify without spending a single sample.
-        return EstimateResult(
-            estimate=0.0,
-            samples_used=0,
-            epsilon=epsilon,
-            delta=delta,
-            method="possibility-zero",
-            certified_zero=True,
-        )
-    bound = p_lower if p_lower is not None else theoretical_bound
-    draw = bernoulli_stream(predicate)
-    if method == "auto":
-        budget = chernoff_sample_size(epsilon, delta, bound)
-        method = "fixed" if budget <= AUTO_FIXED_BUDGET else "dklr"
-    if method == "fixed":
-        return fixed_sample_estimate(draw, epsilon, delta, bound)
-    if method == "dklr":
-        return stopping_rule_estimate(draw, epsilon, delta, max_samples=max_samples)
-    raise ValueError(f"unknown method {method!r}")
+    session = EstimationSession(database, constraints, generator)
+    return session.estimate(
+        query,
+        answer,
+        epsilon=epsilon,
+        delta=delta,
+        rng=rng,
+        method=method,
+        p_lower=p_lower,
+        max_samples=max_samples,
+    )
 
 
 def fixed_budget_estimate(
@@ -184,14 +103,7 @@ def fixed_budget_estimate(
     No (ε, δ) guarantee is attached — benches use this to chart accuracy
     versus budget against exact values.
     """
-    rng = resolve_rng(rng)
-    predicate, _ = _entailment_sampler(database, constraints, generator, query, answer, rng)
-    hits = sum(1 for _ in range(samples) if predicate())
-    return EstimateResult(
-        estimate=hits / samples,
-        samples_used=samples,
-        epsilon=float("nan"),
-        delta=float("nan"),
-        method="fixed-budget",
-        certified_zero=(hits == 0),
-    )
+    from ..engine.session import EstimationSession
+
+    session = EstimationSession(database, constraints, generator)
+    return session.fixed_budget(query, answer, samples=samples, rng=rng)

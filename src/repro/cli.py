@@ -7,12 +7,17 @@ Commands operate on JSON instance files (see :mod:`repro.io`):
 * ``probability FILE -q QUERY [options]``— one ``P_{M_Σ,Q}(D, c̄)`` value
 * ``sample FILE [options]``              — draw repairs / sequences / walks
 * ``count FILE [--what crs|repairs]``    — polynomial counts (primary keys)
+* ``batch FILE [options]``               — batched estimation over a JSON workload
 * ``example NAME``                       — dump a built-in instance as JSON
 
 Example::
 
     python -m repro example figure2 > fig2.json
     python -m repro answers fig2.json -q 'Ans(?x) :- R(?x, ?y)' -g M_ur
+
+``batch`` reads a workload file (see ``docs/FORMATS.md``), groups requests
+by (instance, generator), and scores each group against one shared sample
+pool — optionally fanning groups out over worker processes.
 """
 
 from __future__ import annotations
@@ -32,9 +37,11 @@ from .counting.repair_count import (
     count_singleton_repairs_primary_keys,
 )
 from .cqa.answers import ocqa_probability, operational_consistent_answers
+from .engine.batch import batch_estimate
 from .io import (
     instance_to_dict,
     load_instance,
+    load_workload,
     parse_query,
 )
 from .sampling.operations_sampler import UniformOperationsSampler
@@ -87,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("instance")
     count.add_argument("--what", choices=("crs", "repairs"), default="repairs")
     count.add_argument("--singleton", action="store_true")
+
+    batch = commands.add_parser(
+        "batch", help="batched estimation over a JSON workload file"
+    )
+    batch.add_argument("workload", help="path to a JSON workload file")
+    batch.add_argument("--seed", type=int, default=None)
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan instance groups out over this many worker processes",
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON rows"
+    )
 
     example = commands.add_parser("example", help="dump a built-in instance")
     example.add_argument(
@@ -225,6 +247,49 @@ def command_count(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_batch(args: argparse.Namespace) -> int:
+    requests = load_workload(args.workload)
+    results = batch_estimate(requests, seed=args.seed, workers=args.workers)
+    failures = 0
+    rows = []
+    for outcome in results:
+        request = outcome.request
+        row = {
+            "instance": request.label,
+            "generator": request.generator.name,
+            "query": str(request.query),
+            "answer": list(request.answer),
+        }
+        if outcome.ok:
+            row.update(
+                estimate=outcome.result.estimate,
+                samples=outcome.result.samples_used,
+                method=outcome.result.method,
+                certified_zero=outcome.result.certified_zero,
+            )
+        else:
+            failures += 1
+            row["error"] = outcome.error
+        rows.append(row)
+    if args.json:
+        json.dump(rows, sys.stdout, indent=2)
+        print()
+    else:
+        for row in rows:
+            rendered = ",".join(map(str, row["answer"])) if row["answer"] else "()"
+            if "error" in row:
+                print(
+                    f"{row['instance']}\t{row['generator']}\t{rendered}\t"
+                    f"ERROR: {row['error']}"
+                )
+            else:
+                print(
+                    f"{row['instance']}\t{row['generator']}\t{rendered}\t"
+                    f"{row['estimate']:.6f}\t{row['samples']} samples\t{row['method']}"
+                )
+    return 1 if failures else 0
+
+
 def command_example(args: argparse.Namespace) -> int:
     from .reductions.pathological import pathological_instance
     from .workloads import figure2_database, intro_example
@@ -261,6 +326,7 @@ COMMANDS = {
     "probability": command_probability,
     "sample": command_sample,
     "count": command_count,
+    "batch": command_batch,
     "example": command_example,
 }
 

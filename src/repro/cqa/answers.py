@@ -14,6 +14,7 @@ from fractions import Fraction
 
 from ..approx.fpras import fpras_ocqa
 from ..approx.montecarlo import EstimateResult
+from ..engine.session import EstimationSession
 from ..chains.generators import MarkovChainGenerator
 from ..core.database import Database
 from ..core.dependencies import FDSet
@@ -73,12 +74,20 @@ def operational_consistent_answers(
     epsilon: float = 0.2,
     delta: float = 0.05,
     rng: random.Random | None = None,
+    max_samples: int | None = None,
 ) -> list[AnswerProbability]:
     """The operational consistent answers with non-zero probability.
 
     Candidate tuples come from evaluating ``Q`` over ``D`` (repairs are
     subsets of ``D``, so nothing outside ``Q(D)`` can be an answer).
     Rows are sorted by decreasing probability, then by answer.
+
+    The approximate route scores all candidates against one shared sample
+    pool (an :class:`~repro.engine.session.EstimationSession`), so the whole
+    table costs a single sampling pass; each row still carries its own
+    (ε, δ) guarantee.  The pool retains its draws for replay, so when a
+    tiny positivity bound pushes the estimator onto the adaptive stopping
+    rule, pass ``max_samples`` to bound the pass (and the memory).
     """
     if method == "exact":
         table = exact_operational_consistent_answers(database, constraints, generator, query)
@@ -87,17 +96,17 @@ def operational_consistent_answers(
             for answer, probability in table.items()
         ]
     elif method == "approx":
+        session = EstimationSession(database, constraints, generator)
+        pool = session.pool(rng)
         rows = []
         for candidate in sorted(query.answers(database), key=repr):
-            result = fpras_ocqa(
-                database,
-                constraints,
-                generator,
+            result = session.estimate_pooled(
+                pool,
                 query,
                 candidate,
                 epsilon=epsilon,
                 delta=delta,
-                rng=rng,
+                max_samples=max_samples,
             )
             if result.estimate > 0:
                 rows.append(

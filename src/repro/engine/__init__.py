@@ -1,0 +1,20 @@
+"""Batched estimation engine: sessions, shared sample pools, workload planning.
+
+One :class:`EstimationSession` per ``(database, constraints, generator)``
+amortizes block decompositions, witness images and — via
+:class:`SamplePool` — the Monte-Carlo sampling pass itself across many
+``(query, answer)`` requests; :func:`batch_estimate` plans a mixed workload
+over these sessions.  See ``docs/ARCHITECTURE.md`` for how this layer sits
+on top of the paper's samplers and bounds.
+"""
+
+from .batch import BatchRequest, BatchResult, batch_estimate
+from .session import EstimationSession, SamplePool
+
+__all__ = [
+    "BatchRequest",
+    "BatchResult",
+    "EstimationSession",
+    "SamplePool",
+    "batch_estimate",
+]

@@ -1,0 +1,488 @@
+"""Estimation sessions: amortized Monte-Carlo OCQA over one instance.
+
+:func:`repro.approx.fpras.fpras_ocqa` answers a single ``P_{M_Σ,Q}(D, c̄)``
+question per call and pays the full setup cost every time: the block
+decomposition is recomputed, the CRS counts re-derived, and — far worse — a
+fresh stream of sampled repairs is drawn even when fifty candidate answers
+share the same database.  :class:`EstimationSession` binds one
+``(D, Σ, M_Σ)`` triple and amortizes all of that:
+
+* **structural caches** — the block decomposition (Lemma 5.2) is computed
+  once and shared by every sampler the session builds; the CRS counting
+  DPs (Lemma C.1) are memoized process-wide already and hit warm.
+* **witness caches** — for each ``(Q, c̄)`` the session enumerates the
+  homomorphism images ``h(Q)`` with ``h(x̄) = c̄`` once, over ``D``.  A
+  sampled repair ``S ⊆ D`` satisfies ``c̄ ∈ Q(S)`` iff it contains one of
+  the inclusion-minimal images, so per-sample evaluation drops from a
+  fresh backtracking join to a few frozenset containment tests.
+* **shared sample pools** — :class:`SamplePool` materializes one seeded
+  stream of sampled repairs lazily; every request evaluates against the
+  prefix it needs, so ``N`` requests cost one sampling pass plus ``N``
+  cheap evaluations instead of ``N`` independent Monte-Carlo runs.
+
+Determinism contract: the pool's ``k``-th sample equals the ``k``-th draw
+that a per-call run seeded identically would make, so pooled estimates are
+*bit-for-bit identical* to per-call :func:`~repro.approx.fpras.fpras_ocqa`
+results under the same seed (``tests/test_engine.py`` asserts this).
+
+Scope enforcement is unchanged: combinations outside the paper's positive
+results raise :class:`~repro.approx.fpras.FPRASUnavailable` with the same
+messages as the per-call API.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Sequence
+
+from ..approx.bounds import (
+    rrfreq_lower_bound,
+    singleton_frequency_lower_bound,
+    srfreq_lower_bound,
+    uo_singleton_fd_lower_bound,
+)
+from ..approx.montecarlo import (
+    EstimateResult,
+    chernoff_sample_size,
+    fixed_sample_estimate,
+    stopping_rule_estimate,
+)
+from ..chains.generators import (
+    MarkovChainGenerator,
+    UniformOperations,
+    UniformRepairs,
+    UniformSequences,
+)
+from ..core.blocks import BlockDecomposition, block_decomposition
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.facts import Fact
+from ..core.queries import ConjunctiveQuery, QueryError, _bind_answer
+from ..exact.possibility import image_is_consistent
+from ..sampling.operations_sampler import UniformOperationsSampler
+from ..sampling.repair_sampler import RepairSampler
+from ..sampling.rng import resolve_rng
+from ..sampling.sequence_sampler import SequenceSampler
+
+
+def _unavailable(message: str) -> RuntimeError:
+    # Deferred import: fpras.py routes through this module, so the class
+    # stays at its public home without a circular module-level import.
+    from ..approx.fpras import FPRASUnavailable
+
+    return FPRASUnavailable(message)
+
+
+class SamplePool:
+    """A lazily materialized, seeded stream of sampled repairs.
+
+    Samples are stored as fact sets and grown on demand; request ``i``
+    evaluates against positions ``0 .. n_i`` of the *same* stream.  Because
+    every request reads from position zero, a pooled estimate consumes
+    exactly the prefix a fresh per-call run (seeded like the pool) would
+    draw — which is what makes pooled results bit-for-bit reproducible
+    against the per-call API.
+
+    Replay requires retention: the pool keeps every drawn sample for its
+    lifetime (unlike the per-call path, which streams and discards).  For
+    adaptive ``dklr`` requests on near-zero probabilities, pass
+    ``max_samples`` to bound the prefix — an unbounded stopping-rule run
+    would grow the pool without limit.
+    """
+
+    def __init__(self, draw: Callable[[], frozenset[Fact]]):
+        self._draw = draw
+        self._samples: list[frozenset[Fact]] = []
+
+    def __len__(self) -> int:
+        """Number of samples materialized so far (not a limit)."""
+        return len(self._samples)
+
+    def sample_at(self, index: int) -> frozenset[Fact]:
+        """The ``index``-th sample of the stream, drawing as needed."""
+        while len(self._samples) <= index:
+            self._samples.append(self._draw())
+        return self._samples[index]
+
+    def prefix(self, length: int) -> Sequence[frozenset[Fact]]:
+        """The first ``length`` samples (materializing them if necessary)."""
+        if length > 0:
+            self.sample_at(length - 1)
+        return self._samples[:length]
+
+
+class EstimationSession:
+    """Shared-state estimator for one ``(database, constraints, generator)``.
+
+    All public entry points mirror the per-call FPRAS API; see the module
+    docstring for the caching and determinism guarantees.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        constraints: FDSet,
+        generator: MarkovChainGenerator,
+    ):
+        self.database = database
+        self.constraints = constraints
+        self.generator = generator
+        self._decomposition: BlockDecomposition | None = None
+        self._witnesses: dict[
+            tuple[ConjunctiveQuery, tuple], tuple[frozenset[Fact], ...]
+        ] = {}
+        self._possible: dict[tuple[ConjunctiveQuery, tuple], bool] = {}
+        self._bounds: dict[ConjunctiveQuery, float] = {}
+
+    # -- structural caches ---------------------------------------------------------
+
+    def decomposition(self) -> BlockDecomposition:
+        """The block decomposition of ``(D, Σ)``, computed once (primary keys)."""
+        if self._decomposition is None:
+            self._decomposition = block_decomposition(self.database, self.constraints)
+        return self._decomposition
+
+    def ensure_supported(self) -> None:
+        """Raise :class:`FPRASUnavailable` outside the paper's positive results.
+
+        The checks and messages match :func:`repro.approx.fpras.fpras_ocqa`
+        exactly (Theorems 5.1(2), 6.1(2), 7.1(2), 7.5, E.1(2), E.8(2)).
+        """
+        generator = self.generator
+        if isinstance(generator, UniformRepairs):
+            if not self.constraints.is_primary_keys():
+                raise _unavailable(
+                    "M_ur beyond primary keys: no FPRAS for FDs unless RP = NP "
+                    "(Theorem 5.1(3)); keys are open (Prop 5.5 rules out repair "
+                    "counting)."
+                )
+        elif isinstance(generator, UniformSequences):
+            if not self.constraints.is_primary_keys():
+                raise _unavailable(
+                    "M_us beyond primary keys is open; the paper conjectures no "
+                    "FPRAS even for keys (Section 6)."
+                )
+        elif isinstance(generator, UniformOperations):
+            if not generator.singleton_only and not self.constraints.all_keys():
+                raise _unavailable(
+                    "M_uo with non-key FDs: the target probability can be "
+                    "exponentially small (Prop D.6), so Monte Carlo cannot give "
+                    "an FPRAS; use M_uo,1 (Theorem 7.5) instead."
+                )
+        else:
+            raise _unavailable(
+                f"no FPRAS dispatch for generator {generator.name!r}"
+            )
+
+    def sampler(self, rng: random.Random | None = None):
+        """A sampler for the session's generator, reusing cached structure."""
+        self.ensure_supported()
+        rng = resolve_rng(rng)
+        singleton = self.generator.singleton_only
+        if isinstance(self.generator, UniformRepairs):
+            return RepairSampler(
+                self.database,
+                self.constraints,
+                singleton,
+                rng,
+                decomposition=self.decomposition(),
+            )
+        if isinstance(self.generator, UniformSequences):
+            return SequenceSampler(
+                self.database,
+                self.constraints,
+                singleton,
+                rng,
+                decomposition=self.decomposition(),
+            )
+        return UniformOperationsSampler(self.database, self.constraints, singleton, rng)
+
+    def _draw_facts(self, rng: random.Random | None) -> Callable[[], frozenset[Fact]]:
+        """A thunk drawing one sampled repair as a fact set."""
+        sampler = self.sampler(rng)
+        if isinstance(sampler, SequenceSampler):
+            return lambda: sampler.sample_result().facts
+        return lambda: sampler.sample().facts
+
+    def pool(self, rng: random.Random | None = None) -> SamplePool:
+        """One shared, lazily grown sample stream for this session."""
+        return SamplePool(self._draw_facts(resolve_rng(rng)))
+
+    # -- per-(query, answer) caches --------------------------------------------------
+
+    def positivity_bound(self, query: ConjunctiveQuery) -> float:
+        """The paper's positivity lower bound for this generator and query.
+
+        Mirrors the per-call dispatch: Lemmas 5.3 / 6.3 for ``M_ur`` /
+        ``M_us``, Lemmas E.3 / E.10 for their singleton variants, Lemma D.8
+        for ``M_uo,1``; for plain ``M_uo`` the pragmatic ``rrfreq`` floor
+        stands in for Prop 7.3's astronomically small polynomial.
+        """
+        cached = self._bounds.get(query)
+        if cached is not None:
+            return cached
+        self.ensure_supported()
+        singleton = self.generator.singleton_only
+        if isinstance(self.generator, UniformRepairs):
+            bound = (
+                singleton_frequency_lower_bound(self.database, query)
+                if singleton
+                else rrfreq_lower_bound(self.database, query)
+            )
+        elif isinstance(self.generator, UniformSequences):
+            bound = (
+                singleton_frequency_lower_bound(self.database, query)
+                if singleton
+                else srfreq_lower_bound(self.database, query)
+            )
+        elif singleton:
+            bound = uo_singleton_fd_lower_bound(self.database, query)
+        else:
+            bound = rrfreq_lower_bound(self.database, query)
+        value = float(bound)
+        self._bounds[query] = value
+        return value
+
+    def witnesses(
+        self, query: ConjunctiveQuery, answer: tuple = ()
+    ) -> tuple[frozenset[Fact], ...]:
+        """Inclusion-minimal homomorphism images ``h(Q)`` with ``h(x̄) = c̄``.
+
+        Every sampled repair is a subset of ``D``, so a sample ``S`` entails
+        the answer iff ``w ⊆ S`` for some witness ``w`` — evaluated once per
+        sample with subset tests instead of a backtracking join.  An empty
+        tuple means no homomorphism exists (probability zero everywhere).
+        """
+        key = (query, answer)
+        cached = self._witnesses.get(key)
+        if cached is None:
+            cached = self._compute_witnesses(query, answer)
+            self._witnesses[key] = cached
+        return cached
+
+    def _compute_witnesses(
+        self, query: ConjunctiveQuery, answer: tuple
+    ) -> tuple[frozenset[Fact], ...]:
+        if len(answer) != len(query.answer_variables):
+            return ()
+        # The same binding ``entails`` uses, so the witness semantics can
+        # never drift from direct query evaluation.
+        fixed = _bind_answer(query.answer_variables, answer)
+        if fixed is None:
+            return ()
+        images = set()
+        for homomorphism in query.homomorphisms(self.database, fixed=fixed):
+            images.add(query.image(homomorphism))
+        minimal = [
+            image for image in images if not any(other < image for other in images)
+        ]
+        minimal.sort(key=lambda image: (len(image), sorted(map(str, image))))
+        return tuple(minimal)
+
+    def is_possible(self, query: ConjunctiveQuery, answer: tuple = ()) -> bool:
+        """Cached polynomial zero-test (see :mod:`repro.exact.possibility`).
+
+        ``P > 0`` under every uniform generator iff some witness image is
+        conflict-free; pairwise consistency is closed under subsets, so
+        checking the inclusion-minimal witnesses is equivalent.
+        """
+        key = (query, answer)
+        cached = self._possible.get(key)
+        if cached is None:
+            cached = any(
+                image_is_consistent(witness, self.constraints)
+                for witness in self.witnesses(query, answer)
+            )
+            self._possible[key] = cached
+        return cached
+
+    @staticmethod
+    def _entails_sample(
+        witnesses: tuple[frozenset[Fact], ...], facts: frozenset[Fact]
+    ) -> bool:
+        return any(witness <= facts for witness in witnesses)
+
+    # -- estimation ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        query: ConjunctiveQuery,
+        answer: tuple = (),
+        *,
+        epsilon: float = 0.2,
+        delta: float = 0.05,
+        rng: random.Random | None = None,
+        method: str = "auto",
+        p_lower: float | None = None,
+        max_samples: int | None = None,
+    ) -> EstimateResult:
+        """Per-call twin of :func:`~repro.approx.fpras.fpras_ocqa`.
+
+        Draws a fresh sample stream from ``rng``; the result is bit-for-bit
+        identical to the per-call API under the same seed, the caches only
+        make it cheaper.
+        """
+        rng = resolve_rng(rng)
+        draw_facts = self._draw_facts(rng)  # raises FPRASUnavailable first
+        if not self.is_possible(query, answer):
+            return self._certified_zero(epsilon, delta)
+        witnesses = self.witnesses(query, answer)
+
+        def draw() -> float:
+            return 1.0 if self._entails_sample(witnesses, draw_facts()) else 0.0
+
+        return self._run(draw, query, epsilon, delta, method, p_lower, max_samples)
+
+    def estimate_pooled(
+        self,
+        pool: SamplePool,
+        query: ConjunctiveQuery,
+        answer: tuple = (),
+        *,
+        epsilon: float = 0.2,
+        delta: float = 0.05,
+        method: str = "auto",
+        p_lower: float | None = None,
+        max_samples: int | None = None,
+    ) -> EstimateResult:
+        """Like :meth:`estimate`, but drawing from a shared :class:`SamplePool`.
+
+        Each request reads the pool from position zero, so the result equals
+        ``estimate(..., rng=random.Random(seed))`` whenever ``pool`` was
+        seeded with the same seed — while ``N`` pooled requests share one
+        sampling pass instead of performing ``N``.
+        """
+        self.ensure_supported()
+        if not self.is_possible(query, answer):
+            return self._certified_zero(epsilon, delta)
+        witnesses = self.witnesses(query, answer)
+        position = 0
+
+        def draw() -> float:
+            nonlocal position
+            facts = pool.sample_at(position)
+            position += 1
+            return 1.0 if self._entails_sample(witnesses, facts) else 0.0
+
+        return self._run(draw, query, epsilon, delta, method, p_lower, max_samples)
+
+    def estimate_many(
+        self,
+        requests: Iterable[tuple[ConjunctiveQuery, tuple]],
+        *,
+        epsilon: float = 0.2,
+        delta: float = 0.05,
+        method: str = "auto",
+        rng: random.Random | None = None,
+        max_samples: int | None = None,
+        pool: SamplePool | None = None,
+    ) -> list[EstimateResult]:
+        """Score many ``(query, answer)`` pairs against one shared pool."""
+        if pool is None:
+            pool = self.pool(rng)
+        return [
+            self.estimate_pooled(
+                pool,
+                query,
+                answer,
+                epsilon=epsilon,
+                delta=delta,
+                method=method,
+                max_samples=max_samples,
+            )
+            for query, answer in requests
+        ]
+
+    def fixed_budget(
+        self,
+        query: ConjunctiveQuery,
+        answer: tuple = (),
+        *,
+        samples: int = 10_000,
+        rng: random.Random | None = None,
+    ) -> EstimateResult:
+        """Per-call twin of :func:`~repro.approx.fpras.fixed_budget_estimate`."""
+        rng = resolve_rng(rng)
+        draw_facts = self._draw_facts(rng)
+        witnesses = self._budget_witnesses(query, answer)
+        hits = sum(
+            1 for _ in range(samples) if self._entails_sample(witnesses, draw_facts())
+        )
+        return self._budget_result(hits, samples)
+
+    def fixed_budget_pooled(
+        self,
+        pool: SamplePool,
+        query: ConjunctiveQuery,
+        answer: tuple = (),
+        *,
+        samples: int = 10_000,
+    ) -> EstimateResult:
+        """Fixed-budget estimate over a shared pool's first ``samples`` draws."""
+        self.ensure_supported()
+        witnesses = self._budget_witnesses(query, answer)
+        hits = sum(
+            1
+            for index in range(samples)
+            if self._entails_sample(witnesses, pool.sample_at(index))
+        )
+        return self._budget_result(hits, samples)
+
+    def _budget_witnesses(
+        self, query: ConjunctiveQuery, answer: tuple
+    ) -> tuple[frozenset[Fact], ...]:
+        # The budget estimators keep entails()'s arity error, which the
+        # (ε, δ) path never reaches (its zero-test returns first).
+        if len(answer) != len(query.answer_variables):
+            raise QueryError(
+                f"answer arity {len(answer)} does not match "
+                f"|x̄| = {len(query.answer_variables)}"
+            )
+        return self.witnesses(query, answer)
+
+    @staticmethod
+    def _budget_result(hits: int, samples: int) -> EstimateResult:
+        return EstimateResult(
+            estimate=hits / samples,
+            samples_used=samples,
+            epsilon=float("nan"),
+            delta=float("nan"),
+            method="fixed-budget",
+            certified_zero=(hits == 0),
+        )
+
+    @staticmethod
+    def _certified_zero(epsilon: float, delta: float) -> EstimateResult:
+        # The polynomial zero-test: no conflict-free image of the query
+        # exists, so the probability is exactly 0 under every generator —
+        # certify without spending a single sample.
+        return EstimateResult(
+            estimate=0.0,
+            samples_used=0,
+            epsilon=epsilon,
+            delta=delta,
+            method="possibility-zero",
+            certified_zero=True,
+        )
+
+    def _run(
+        self,
+        draw: Callable[[], float],
+        query: ConjunctiveQuery,
+        epsilon: float,
+        delta: float,
+        method: str,
+        p_lower: float | None,
+        max_samples: int | None,
+    ) -> EstimateResult:
+        from ..approx.fpras import AUTO_FIXED_BUDGET
+
+        bound = p_lower if p_lower is not None else self.positivity_bound(query)
+        if method == "auto":
+            budget = chernoff_sample_size(epsilon, delta, bound)
+            method = "fixed" if budget <= AUTO_FIXED_BUDGET else "dklr"
+        if method == "fixed":
+            return fixed_sample_estimate(draw, epsilon, delta, bound)
+        if method == "dklr":
+            return stopping_rule_estimate(draw, epsilon, delta, max_samples=max_samples)
+        raise ValueError(f"unknown method {method!r}")

@@ -50,7 +50,7 @@ def consistent_image_exists(
         fixed[variable] = constant
     for homomorphism in query.homomorphisms(database, fixed=fixed):
         image = query.image(homomorphism)
-        if _pairwise_consistent(image, constraints):
+        if image_is_consistent(image, constraints):
             return True
     return False
 
@@ -65,7 +65,12 @@ def answer_is_possible(
     return consistent_image_exists(database, constraints, query, answer)
 
 
-def _pairwise_consistent(image: frozenset[Fact], constraints: FDSet) -> bool:
+def image_is_consistent(image: frozenset[Fact], constraints: FDSet) -> bool:
+    """Whether a fact set is pairwise conflict-free (``h(Q) |= Σ``).
+
+    Shared by the zero-tests here and the estimation engine's witness
+    cache, so the two can never drift apart.
+    """
     facts = sorted(image, key=str)
     for index, f in enumerate(facts):
         for g in facts[index + 1 :]:
@@ -95,7 +100,7 @@ def witnessing_repair(
         image = query.image(homomorphism)
         if not image <= database.facts:
             continue
-        if not _pairwise_consistent(image, constraints):
+        if not image_is_consistent(image, constraints):
             continue
         chosen = set(image) | set(graph.isolated_nodes())
         for candidate in database.sorted_facts():

@@ -1,4 +1,4 @@
-"""Serialization: JSON instances and a text query syntax.
+"""Serialization: JSON instances, JSON batch workloads, a text query syntax.
 
 Instance JSON format::
 
@@ -12,19 +12,34 @@ Query text format (variables start with ``?``; bare tokens are constants,
 parsed as ints when numeric)::
 
     Ans(?x) :- R(?x, ?y), T(1)
+
+Workload JSON format (consumed by ``python -m repro batch`` and
+:func:`load_workload`; full reference in ``docs/FORMATS.md``)::
+
+    {
+      "defaults":  {"generator": "M_ur", "epsilon": 0.2},
+      "instances": {"shop": {...inline instance...}, "hr": "hr.json"},
+      "requests":  [
+        {"instance": "shop", "query": "Ans(?x) :- R(?x, ?y)", "answer": ["a1"]},
+        {"instance": "shop", "query": "Ans(?x) :- R(?x, ?y)", "answers": "all"}
+      ]
+    }
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 from typing import Any, Mapping
 
+from .chains.generators import ALL_GENERATORS
 from .core.database import Database
 from .core.dependencies import FDSet, FunctionalDependency
 from .core.facts import Constant, Fact
 from .core.queries import Atom, ConjunctiveQuery, QueryError, Variable
 from .core.schema import Schema
+from .engine.batch import BatchRequest
 
 
 class InstanceFormatError(ValueError):
@@ -89,6 +104,129 @@ def _freeze(value: Any) -> Constant:
     if isinstance(value, list):
         return tuple(_freeze(v) for v in value)
     return value
+
+
+# -- batch workloads -------------------------------------------------------------------
+
+_GENERATORS_BY_NAME = {generator.name: generator for generator in ALL_GENERATORS}
+_WORKLOAD_METHODS = ("auto", "fixed", "dklr")
+
+
+def workload_from_dict(
+    document: Mapping[str, Any], *, base_dir: str | None = None
+) -> list[BatchRequest]:
+    """Parse a workload document into :class:`~repro.engine.batch.BatchRequest` rows.
+
+    ``instances`` maps names to inline instance documents or to paths of
+    instance JSON files (resolved against ``base_dir`` when relative).  Each
+    request names an instance and a query and gives either one ``answer``
+    tuple or ``"answers": "all"``, which expands to every candidate tuple of
+    ``Q(D)`` in deterministic order.  ``defaults`` supplies fallback values
+    for ``generator``, ``epsilon``, ``delta``, ``method`` and
+    ``max_samples``.
+    """
+    try:
+        instance_specs = document["instances"]
+        request_rows = document["requests"]
+    except (KeyError, TypeError):
+        raise InstanceFormatError(
+            "workload document needs 'instances' and 'requests' keys"
+        ) from None
+    defaults = document.get("defaults", {})
+    if not isinstance(defaults, Mapping):
+        raise InstanceFormatError("workload 'defaults' must be an object")
+    if not isinstance(instance_specs, Mapping):
+        raise InstanceFormatError("workload 'instances' must be an object")
+    instances: dict[str, tuple[Database, FDSet]] = {}
+    for name, spec in instance_specs.items():
+        if isinstance(spec, str):
+            path = spec
+            if base_dir is not None and not os.path.isabs(path):
+                path = os.path.join(base_dir, path)
+            instances[name] = load_instance(path)
+        elif isinstance(spec, Mapping):
+            instances[name] = instance_from_dict(spec)
+        else:
+            raise InstanceFormatError(
+                f"instance {name!r} must be a document or a file path"
+            )
+    requests: list[BatchRequest] = []
+    for row in request_rows:
+        if not isinstance(row, Mapping):
+            raise InstanceFormatError(f"malformed request row {row!r}")
+        name = row.get("instance")
+        if name not in instances:
+            raise InstanceFormatError(
+                f"request names unknown instance {name!r}; "
+                f"declared: {sorted(instances)}"
+            )
+        database, constraints = instances[name]
+        generator_name = row.get("generator", defaults.get("generator", "M_ur"))
+        generator = _GENERATORS_BY_NAME.get(generator_name)
+        if generator is None:
+            raise InstanceFormatError(
+                f"unknown generator {generator_name!r}; "
+                f"choose from {sorted(_GENERATORS_BY_NAME)}"
+            )
+        if "query" not in row:
+            raise InstanceFormatError(f"request row lacks a 'query': {row!r}")
+        query = parse_query(row["query"])
+        method = row.get("method", defaults.get("method", "auto"))
+        if method not in _WORKLOAD_METHODS:
+            raise InstanceFormatError(
+                f"unknown method {method!r}; choose from {_WORKLOAD_METHODS}"
+            )
+        max_samples = row.get("max_samples", defaults.get("max_samples"))
+        common = dict(
+            database=database,
+            constraints=constraints,
+            generator=generator,
+            query=query,
+            epsilon=float(row.get("epsilon", defaults.get("epsilon", 0.2))),
+            delta=float(row.get("delta", defaults.get("delta", 0.05))),
+            method=method,
+            max_samples=None if max_samples is None else int(max_samples),
+            label=str(name),
+        )
+        if "answers" in row:
+            if row["answers"] != "all":
+                raise InstanceFormatError(
+                    f"'answers' must be the string 'all', got {row['answers']!r}"
+                )
+            if "answer" in row:
+                raise InstanceFormatError(
+                    "give either 'answer' or 'answers': 'all', not both"
+                )
+            for candidate in sorted(query.answers(database), key=repr):
+                requests.append(BatchRequest(answer=candidate, **common))
+        else:
+            raw_answer = row.get("answer", [])
+            if not isinstance(raw_answer, (list, tuple)):
+                raise InstanceFormatError(
+                    f"'answer' must be a list of values, got {raw_answer!r}"
+                )
+            answer = tuple(_freeze(v) for v in raw_answer)
+            if len(answer) != len(query.answer_variables):
+                raise InstanceFormatError(
+                    f"answer {answer!r} has arity {len(answer)} but query "
+                    f"{row['query']!r} expects {len(query.answer_variables)} "
+                    "(use 'answers': 'all' to enumerate candidates)"
+                )
+            requests.append(BatchRequest(answer=answer, **common))
+    return requests
+
+
+def load_workload(path: str) -> list[BatchRequest]:
+    """Load a batch workload from a JSON file (see ``docs/FORMATS.md``).
+
+    Relative instance paths inside the workload resolve against the
+    workload file's own directory.
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    return workload_from_dict(
+        document, base_dir=os.path.dirname(os.path.abspath(path))
+    )
 
 
 # -- queries --------------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from ..core.blocks import block_decomposition
+from ..core.blocks import BlockDecomposition, block_decomposition
 from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.facts import Fact
@@ -22,7 +22,9 @@ class RepairSampler:
     """Draws elements of ``CORep(D, Σ)`` uniformly, in ``O(|D|)`` per draw.
 
     Decomposition work is done once at construction; ``sample()`` then costs
-    one uniform choice per conflicting block.
+    one uniform choice per conflicting block.  Callers holding a precomputed
+    decomposition (e.g. an :class:`~repro.engine.session.EstimationSession`)
+    can pass it to skip even that.
     """
 
     def __init__(
@@ -31,12 +33,14 @@ class RepairSampler:
         constraints: FDSet,
         singleton_only: bool = False,
         rng: random.Random | None = None,
+        decomposition: BlockDecomposition | None = None,
     ):
         self.database = database
         self.constraints = constraints
         self.singleton_only = singleton_only
         self.rng = resolve_rng(rng)
-        decomposition = block_decomposition(database, constraints)
+        if decomposition is None:
+            decomposition = block_decomposition(database, constraints)
         self._always_kept: frozenset[Fact] = decomposition.singleton_facts()
         self._conflicting = [block.sorted_facts() for block in decomposition.conflicting_blocks()]
         if singleton_only:

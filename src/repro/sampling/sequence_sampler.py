@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from itertools import combinations
 
-from ..core.blocks import block_decomposition
+from ..core.blocks import BlockDecomposition, block_decomposition
 from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.facts import Fact
@@ -38,12 +38,14 @@ class SequenceSampler:
         constraints: FDSet,
         singleton_only: bool = False,
         rng: random.Random | None = None,
+        decomposition: BlockDecomposition | None = None,
     ):
         self.database = database
         self.constraints = constraints
         self.singleton_only = singleton_only
         self.rng = resolve_rng(rng)
-        decomposition = block_decomposition(database, constraints)
+        if decomposition is None:
+            decomposition = block_decomposition(database, constraints)
         self._initial_blocks = [
             block.sorted_facts() for block in decomposition.conflicting_blocks()
         ]

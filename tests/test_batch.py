@@ -1,0 +1,257 @@
+"""Batch planner, JSON workload parsing, and the ``repro batch`` command."""
+
+import json
+import random
+
+import pytest
+
+from repro.chains.generators import M_UO1, M_UR, M_US
+from repro.cli import main
+from repro.core import Database, FDSet, Schema, fact, fd
+from repro.core.queries import atom, boolean_cq, cq, var
+from repro.engine import BatchRequest, batch_estimate
+from repro.io import (
+    InstanceFormatError,
+    instance_to_dict,
+    load_workload,
+    save_instance,
+    workload_from_dict,
+)
+from repro.workloads import figure2_database
+
+x, y = var("x"), var("y")
+
+
+def fig2_requests(epsilon=0.5, delta=0.2):
+    database, constraints = figure2_database()
+    query = cq((x,), (atom("R", x, y),))
+    return [
+        BatchRequest(
+            database,
+            constraints,
+            M_UR,
+            query,
+            answer=candidate,
+            epsilon=epsilon,
+            delta=delta,
+        )
+        for candidate in sorted(query.answers(database), key=repr)
+    ]
+
+
+class TestBatchEstimate:
+    def test_results_in_input_order(self):
+        requests = fig2_requests()
+        results = batch_estimate(requests, seed=3)
+        assert [r.request for r in results] == requests
+        assert all(r.ok for r in results)
+        by_answer = {r.request.answer: r.result.estimate for r in results}
+        assert by_answer[("a2",)] == 1.0  # the conflict-free block
+        assert 0 < by_answer[("a1",)] < 1
+
+    def test_seeded_runs_are_reproducible(self):
+        first = batch_estimate(fig2_requests(), seed=11)
+        second = batch_estimate(fig2_requests(), seed=11)
+        assert [r.result for r in first] == [r.result for r in second]
+
+    def test_worker_fanout_matches_serial(self):
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        requests = []
+        for generator in (M_UR, M_US):  # two groups on one database
+            for candidate in sorted(query.answers(database), key=repr):
+                requests.append(
+                    BatchRequest(
+                        database,
+                        constraints,
+                        generator,
+                        query,
+                        answer=candidate,
+                        epsilon=0.5,
+                        delta=0.2,
+                    )
+                )
+        serial = batch_estimate(requests, seed=13)
+        fanned = batch_estimate(requests, seed=13, workers=2)
+        assert [r.result for r in serial] == [r.result for r in fanned]
+
+    def test_groups_share_one_pool(self):
+        # All requests in one group use the same Chernoff budget here, so a
+        # shared pool means identical sample counts — and estimates that are
+        # bit-for-bit those of per-call runs re-seeded with the group seed.
+        results = batch_estimate(fig2_requests(), seed=17)
+        assert len({r.result.samples_used for r in results}) == 1
+
+    def test_unavailable_request_is_reported_not_raised(self, running_example):
+        database, constraints, _ = running_example  # FDs: M_ur has no FPRAS
+        bad = BatchRequest(
+            database, constraints, M_UR, boolean_cq(atom("R", "a1", "b1", "c1"))
+        )
+        good = fig2_requests()[0]
+        results = batch_estimate([bad, good], seed=19)
+        assert not results[0].ok
+        assert "M_ur beyond primary keys" in results[0].error
+        assert results[1].ok
+
+    def test_singleton_generator_group(self, running_example):
+        database, constraints, (f1, _, _) = running_example
+        request = BatchRequest(
+            database,
+            constraints,
+            M_UO1,
+            boolean_cq(atom("R", *f1.values)),
+            epsilon=0.5,
+            delta=0.2,
+            method="dklr",
+            max_samples=200,
+        )
+        (result,) = batch_estimate([request], seed=23)
+        assert result.ok
+        assert 0 <= result.result.estimate <= 1
+
+
+def workload_document():
+    database, constraints = figure2_database()
+    return {
+        "defaults": {"generator": "M_ur", "epsilon": 0.5, "delta": 0.2},
+        "instances": {"fig2": instance_to_dict(database, constraints)},
+        "requests": [
+            {"instance": "fig2", "query": "Ans(?x) :- R(?x, ?y)", "answers": "all"},
+            {
+                "instance": "fig2",
+                "generator": "M_us",
+                "query": "Ans() :- R(a1, b1)",
+            },
+        ],
+    }
+
+
+class TestWorkloadParsing:
+    def test_expansion_and_defaults(self):
+        requests = workload_from_dict(workload_document())
+        # Three candidates of Ans(?x) :- R(?x, ?y) plus the Boolean request.
+        assert len(requests) == 4
+        assert [r.answer for r in requests[:3]] == [("a1",), ("a2",), ("a3",)]
+        assert all(r.epsilon == 0.5 and r.delta == 0.2 for r in requests)
+        assert requests[3].generator is M_US
+        assert all(r.label == "fig2" for r in requests)
+
+    def test_parsed_workload_runs(self):
+        results = batch_estimate(workload_from_dict(workload_document()), seed=29)
+        assert all(r.ok for r in results)
+
+    def test_instance_paths_resolve_against_workload_dir(self, tmp_path):
+        database, constraints = figure2_database()
+        save_instance(str(tmp_path / "fig2.json"), database, constraints)
+        document = workload_document()
+        document["instances"] = {"fig2": "fig2.json"}
+        workload_path = tmp_path / "workload.json"
+        workload_path.write_text(json.dumps(document))
+        requests = load_workload(str(workload_path))
+        assert len(requests) == 4
+        assert requests[0].database == database
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.pop("requests"), "needs 'instances' and 'requests'"),
+            (
+                lambda d: d["requests"][0].update(instance="nope"),
+                "unknown instance",
+            ),
+            (
+                lambda d: d["requests"][0].update(generator="M_xx"),
+                "unknown generator",
+            ),
+            (
+                lambda d: d["requests"][0].update(method="bogus"),
+                "unknown method",
+            ),
+            (
+                lambda d: d["requests"][0].update(answer=["a1"]),
+                "not both",
+            ),
+            (
+                lambda d: d["requests"][1].pop("query"),
+                "lacks a 'query'",
+            ),
+            (
+                lambda d: d["requests"][0].update(answers="All"),
+                "must be the string 'all'",
+            ),
+            (
+                lambda d: d["requests"][1].update(answer="a1"),
+                "must be a list of values",
+            ),
+            (
+                lambda d: d.update(instances=[{"schema": {}}]),
+                "'instances' must be an object",
+            ),
+            (
+                # Forgot 'answer' on a non-Boolean query: an arity error at
+                # load time, not a silent certified-zero row at run time.
+                lambda d: d["requests"][0].pop("answers"),
+                "arity 0",
+            ),
+        ],
+    )
+    def test_malformed_documents_rejected(self, mutate, message):
+        document = workload_document()
+        mutate(document)
+        with pytest.raises(InstanceFormatError, match=message):
+            workload_from_dict(document)
+
+    def test_non_mapping_instance_rejected(self):
+        document = workload_document()
+        document["instances"]["fig2"] = 7
+        with pytest.raises(InstanceFormatError, match="document or a file path"):
+            workload_from_dict(document)
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def workload_path(self, tmp_path):
+        database, constraints = figure2_database()
+        save_instance(str(tmp_path / "fig2.json"), database, constraints)
+        document = workload_document()
+        document["instances"] = {"fig2": "fig2.json"}
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_table_output(self, workload_path, capsys):
+        assert main(["batch", workload_path, "--seed", "7"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("fig2\tM_ur\ta1\t")
+        assert "fixed-chernoff" in lines[0]
+
+    def test_json_output_is_machine_readable(self, workload_path, capsys):
+        assert main(["batch", workload_path, "--seed", "7", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["answer"] for row in rows[:3]] == [["a1"], ["a2"], ["a3"]]
+        assert all("estimate" in row for row in rows)
+
+    def test_seed_makes_output_reproducible(self, workload_path, capsys):
+        main(["batch", workload_path, "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["batch", workload_path, "--seed", "7", "--workers", "2"])
+        assert capsys.readouterr().out == first
+
+    def test_error_rows_set_exit_code(self, tmp_path, capsys):
+        schema = Schema.from_spec({"R": ["A", "B", "C"]})
+        database = Database(
+            [fact("R", "a1", "b1", "c1"), fact("R", "a1", "b2", "c2")], schema=schema
+        )
+        constraints = FDSet(schema, [fd("R", "A", "B"), fd("R", "C", "B")])
+        document = {
+            "instances": {"fds": instance_to_dict(database, constraints)},
+            "requests": [
+                {"instance": "fds", "generator": "M_ur", "query": "Ans() :- R(a1, b1, c1)"}
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document))
+        assert main(["batch", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR: M_ur beyond primary keys" in out
