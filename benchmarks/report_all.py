@@ -6,15 +6,84 @@ capture disabled, so all ``[E*]`` rows — the series each experiment
 reports — are printed.  This is the source of the measured numbers in
 EXPERIMENTS.md.
 
-Run:  python benchmarks/report_all.py
+With ``--json PATH`` the run additionally parses every ``[E*]`` row into
+an aggregate document ``{"E1": [{...}, ...], ..., "E24": [...]}`` and
+writes it to ``PATH`` (``-`` for stdout).  The aggregate covers every
+collected ``bench_e*.py`` module — the collector derives the expected
+experiment ids from the bench filenames and fails loudly if one produced
+no rows, so a newly added bench (e.g. ``bench_e24_adaptive_vs_fixed.py``)
+cannot silently drop out of the report.
+
+Run:  python benchmarks/report_all.py [--json report.json]
 """
 
+import argparse
+import json
+import math
 import pathlib
+import re
 import subprocess
 import sys
 
+#: ``[E7] key=value  key=value`` — the row format of ``bench_utils.emit``.
+_ROW = re.compile(r"^\[(E\d+)\]\s+(.*)$")
+_FIELD = re.compile(r"(\w+)=(\S+(?:\s(?![\w]+=)\S+)*)")
+
+
+def expected_experiments(directory: pathlib.Path) -> list[str]:
+    """Experiment ids implied by the bench filenames (``bench_e24_*`` -> E24)."""
+    found = []
+    for path in sorted(directory.glob("bench_e*.py")):
+        match = re.match(r"bench_e(\d+)_", path.name)
+        if match:
+            found.append(f"E{int(match.group(1))}")
+    return found
+
+
+def parse_value(raw: str):
+    """Best-effort typing of an emitted value (int, float, bool, else str).
+
+    Non-finite floats (``inf``/``nan``, e.g. from ``relative_error`` on an
+    exact zero) stay strings — ``json.dumps`` would otherwise emit bare
+    ``Infinity``/``NaN``, which is not valid JSON.
+    """
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            value = caster(raw)
+        except ValueError:
+            continue
+        if isinstance(value, float) and not math.isfinite(value):
+            return raw
+        return value
+    return raw
+
+
+def aggregate_rows(output: str) -> dict[str, list[dict]]:
+    """Parse ``[E*] key=value`` lines into ``{experiment: [row, ...]}``."""
+    aggregate: dict[str, list[dict]] = {}
+    for line in output.splitlines():
+        match = _ROW.match(line.strip())
+        if match is None:
+            continue
+        experiment, rest = match.groups()
+        row = {key: parse_value(value) for key, value in _FIELD.findall(rest)}
+        aggregate.setdefault(experiment, []).append(row)
+    return aggregate
+
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the aggregate {experiment: rows} JSON here ('-' = stdout)",
+    )
+    args = parser.parse_args()
+
     here = pathlib.Path(__file__).resolve().parent
     command = [
         sys.executable,
@@ -29,7 +98,32 @@ def main() -> int:
         "-q",
         "-s",
     ]
-    return subprocess.call(command, cwd=here.parent)
+    if args.json is None:
+        return subprocess.call(command, cwd=here.parent)
+
+    completed = subprocess.run(
+        command, cwd=here.parent, capture_output=True, text=True
+    )
+    # Emit rows go to stderr, pytest chatter to stdout; forward both — but
+    # with '--json -' keep stdout pure JSON (chatter joins the rows on
+    # stderr so `report_all.py --json - | jq .` works).
+    chatter = sys.stderr if args.json == "-" else sys.stdout
+    chatter.write(completed.stdout)
+    sys.stderr.write(completed.stderr)
+    aggregate = aggregate_rows(completed.stdout + "\n" + completed.stderr)
+    missing = [e for e in expected_experiments(here) if e not in aggregate]
+    if missing:
+        print(f"error: no rows collected for {missing}", file=sys.stderr)
+        return completed.returncode or 1
+    # allow_nan=False backstops parse_value: fail loudly rather than emit
+    # bare Infinity/NaN, which strict JSON consumers reject.
+    rendered = json.dumps(aggregate, indent=2, sort_keys=True, allow_nan=False)
+    if args.json == "-":
+        print(rendered)
+    else:
+        pathlib.Path(args.json).write_text(rendered + "\n", encoding="utf-8")
+        print(f"aggregate JSON for {sorted(aggregate)} -> {args.json}", file=sys.stderr)
+    return completed.returncode
 
 
 if __name__ == "__main__":

@@ -19,8 +19,11 @@ See ``examples/quickstart.py``, ``README.md`` and ``docs/ARCHITECTURE.md``.
 """
 
 from .approx import (
+    AdaptiveResult,
     EstimateResult,
     FPRASUnavailable,
+    SequentialEstimator,
+    adaptive_estimate,
     fixed_budget_estimate,
     fpras_ocqa,
 )
@@ -68,6 +71,7 @@ from .cqa import (
 from .engine import (
     BatchRequest,
     BatchResult,
+    CacheStore,
     EstimationSession,
     SamplePool,
     batch_estimate,
@@ -90,20 +94,28 @@ from .analysis import (
     repair_distribution,
 )
 from .io import (
+    WorkloadSpec,
     load_instance,
     load_workload,
+    load_workload_spec,
     parse_query,
     save_instance,
     workload_from_dict,
+    workload_spec_from_dict,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALL_GENERATORS",
+    "AdaptiveResult",
+    "CacheStore",
     "LocalChainGenerator",
     "LocalChainSampler",
     "TrustWeightedOperations",
+    "SequentialEstimator",
+    "WorkloadSpec",
+    "adaptive_estimate",
     "answer_is_possible",
     "compare_generators",
     "expected_answer_count",
@@ -113,6 +125,7 @@ __all__ = [
     "inconsistency_report",
     "load_instance",
     "load_workload",
+    "load_workload_spec",
     "local_answer_probability",
     "local_repair_distribution",
     "parse_query",
@@ -120,6 +133,7 @@ __all__ = [
     "save_instance",
     "witnessing_repair",
     "workload_from_dict",
+    "workload_spec_from_dict",
     "BatchRequest",
     "BatchResult",
     "ConflictGraph",

@@ -1,5 +1,12 @@
 """Approximation layer: Monte-Carlo estimators, positivity bounds, FPRASes."""
 
+from .adaptive import (
+    AdaptiveResult,
+    SequentialEstimator,
+    adaptive_estimate,
+    empirical_bernstein_radius,
+    hoeffding_radius,
+)
 from .composition import (
     composed_estimate,
     count_independent_sets_composed,
@@ -37,6 +44,11 @@ from .montecarlo import (
 
 __all__ = [
     "AUTO_FIXED_BUDGET",
+    "AdaptiveResult",
+    "SequentialEstimator",
+    "adaptive_estimate",
+    "empirical_bernstein_radius",
+    "hoeffding_radius",
     "composed_estimate",
     "count_independent_sets_composed",
     "count_repairs_composed",

@@ -17,7 +17,10 @@ Example::
 
 ``batch`` reads a workload file (see ``docs/FORMATS.md``), groups requests
 by (instance, generator), and scores each group against one shared sample
-pool — optionally fanning groups out over worker processes.
+pool — optionally fanning groups out over worker processes.  With
+``--mode adaptive`` every group runs sequential early-stopping estimators
+instead of fixed budgets, and ``--cache-dir DIR`` (with ``--seed``)
+persists decompositions, bounds and sample batches across runs.
 """
 
 from __future__ import annotations
@@ -41,7 +44,7 @@ from .engine.batch import batch_estimate
 from .io import (
     instance_to_dict,
     load_instance,
-    load_workload,
+    load_workload_spec,
     parse_query,
 )
 from .sampling.operations_sampler import UniformOperationsSampler
@@ -108,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON rows"
+    )
+    batch.add_argument(
+        "--mode",
+        choices=("fixed", "adaptive"),
+        default=None,
+        help="estimation mode (default: the workload's 'mode' field, else fixed); "
+        "'adaptive' uses sequential early-stopping estimators",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist decompositions/bounds/sample batches here across runs "
+        "(default: the workload's 'cache_dir' field; needs --seed to be effective)",
     )
 
     example = commands.add_parser("example", help="dump a built-in instance")
@@ -248,8 +264,22 @@ def command_count(args: argparse.Namespace) -> int:
 
 
 def command_batch(args: argparse.Namespace) -> int:
-    requests = load_workload(args.workload)
-    results = batch_estimate(requests, seed=args.seed, workers=args.workers)
+    spec = load_workload_spec(args.workload)
+    mode = args.mode if args.mode is not None else spec.mode
+    cache_dir = args.cache_dir if args.cache_dir is not None else spec.cache_dir
+    if cache_dir is not None and args.seed is None:
+        print(
+            "note: --cache-dir has no effect without --seed "
+            "(unseeded runs are not reproducible)",
+            file=sys.stderr,
+        )
+    results = batch_estimate(
+        spec.requests,
+        seed=args.seed,
+        workers=args.workers,
+        mode=mode,
+        cache_dir=cache_dir,
+    )
     failures = 0
     rows = []
     for outcome in results:
@@ -267,6 +297,9 @@ def command_batch(args: argparse.Namespace) -> int:
                 method=outcome.result.method,
                 certified_zero=outcome.result.certified_zero,
             )
+            interval = getattr(outcome.result, "interval", None)
+            if interval is not None:
+                row["interval"] = [interval.lower, interval.upper]
         else:
             failures += 1
             row["error"] = outcome.error

@@ -4,17 +4,24 @@ One :class:`EstimationSession` per ``(database, constraints, generator)``
 amortizes block decompositions, witness images and — via
 :class:`SamplePool` — the Monte-Carlo sampling pass itself across many
 ``(query, answer)`` requests; :func:`batch_estimate` plans a mixed workload
-over these sessions.  See ``docs/ARCHITECTURE.md`` for how this layer sits
-on top of the paper's samplers and bounds.
+over these sessions, optionally in adaptive early-stopping mode
+(``mode="adaptive"``) and/or against a persistent cross-run
+:class:`CacheStore` (``cache_dir=...``).  See ``docs/ARCHITECTURE.md`` for
+how this layer sits on top of the paper's samplers and bounds.
 """
 
 from .batch import BatchRequest, BatchResult, batch_estimate
 from .session import EstimationSession, SamplePool
+from .store import STORE_VERSION, CacheEntry, CacheStore, instance_cache_key
 
 __all__ = [
     "BatchRequest",
     "BatchResult",
+    "CacheEntry",
+    "CacheStore",
     "EstimationSession",
+    "STORE_VERSION",
     "SamplePool",
     "batch_estimate",
+    "instance_cache_key",
 ]

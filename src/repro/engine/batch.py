@@ -12,6 +12,18 @@ first-appearance order, so results are independent of the worker count and
 of how requests interleave across groups.  A request outside the paper's
 FPRAS scope is reported as :attr:`BatchResult.error` instead of aborting the
 rest of the batch (the per-call API keeps raising, as before).
+
+Two orthogonal switches extend the planner:
+
+* ``mode="adaptive"`` — run each group's requests as concurrent sequential
+  early-stopping estimators (:mod:`repro.approx.adaptive`), scheduled in
+  doubling rounds over one shared pool (its length is the slowest stopping
+  time, not the sum); per-request ``method`` is ignored in this mode.
+* ``cache_dir=...`` — persist decompositions, possibility verdicts, bounds
+  and pool sample batches per ``(database, Σ, generator, seed)`` key in a
+  :class:`~repro.engine.store.CacheStore`, so reruns of the same workload
+  warm-start (requires a workload ``seed``; unseeded runs are not
+  reproducible and bypass the cache).
 """
 
 from __future__ import annotations
@@ -21,12 +33,14 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..approx.adaptive import AdaptiveResult
 from ..approx.montecarlo import EstimateResult
 from ..chains.generators import MarkovChainGenerator
 from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.queries import ConjunctiveQuery
 from .session import EstimationSession
+from .store import CacheStore
 
 #: Decorrelates the per-group seeds derived from one workload-level seed.
 _SEED_STRIDE = 1_000_003
@@ -58,10 +72,15 @@ class BatchRequest:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """The outcome of one request: an estimate, or a scope/usage error."""
+    """The outcome of one request: an estimate, or a scope/usage error.
+
+    ``result`` is an :class:`EstimateResult` in fixed mode and an
+    :class:`~repro.approx.adaptive.AdaptiveResult` (which additionally
+    carries the stopping confidence interval) in adaptive mode.
+    """
 
     request: BatchRequest
-    result: EstimateResult | None = None
+    result: EstimateResult | AdaptiveResult | None = None
     error: str | None = None
 
     @property
@@ -74,6 +93,8 @@ def batch_estimate(
     *,
     seed: int | None = None,
     workers: int | None = None,
+    mode: str = "fixed",
+    cache_dir: str | None = None,
 ) -> list[BatchResult]:
     """Estimate every request, sharing one sample pool per instance group.
 
@@ -82,13 +103,19 @@ def batch_estimate(
     the serial run because each group owns a deterministic derived seed
     (``seed`` of ``None`` means fresh entropy per group, useful only when
     reproducibility does not matter).
+
+    ``mode="adaptive"`` switches every group to the early-stopping
+    scheduler; ``cache_dir`` persists per-group state across processes and
+    runs (see the module docstring).
     """
+    if mode not in ("fixed", "adaptive"):
+        raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
     indexed = list(enumerate(requests))
     groups: dict[tuple, list[tuple[int, BatchRequest]]] = {}
     for position, request in indexed:
         groups.setdefault(request.group_key(), []).append((position, request))
     payloads = [
-        (members, _group_seed(seed, group_position))
+        (members, _group_seed(seed, group_position), mode, cache_dir)
         for group_position, members in enumerate(groups.values())
     ]
     if workers and workers > 1 and len(payloads) > 1:
@@ -118,22 +145,55 @@ def _pool_context():
 
 
 def _estimate_group(
-    payload: tuple[Sequence[tuple[int, BatchRequest]], int | None],
+    payload: tuple[Sequence[tuple[int, BatchRequest]], int | None, str, str | None],
 ) -> list[tuple[int, BatchResult]]:
     """Run one group's requests against a shared session + pool (picklable)."""
     from ..approx.fpras import FPRASUnavailable
 
-    members, group_seed = payload
+    members, group_seed, mode, cache_dir = payload
     first = members[0][1]
-    session = EstimationSession(first.database, first.constraints, first.generator)
-    rng = random.Random(group_seed) if group_seed is not None else None
+    cache = None
+    if cache_dir is not None and group_seed is not None:
+        cache = CacheStore(cache_dir).entry(
+            first.database, first.constraints, first.generator.name, group_seed
+        )
+    session = EstimationSession(
+        first.database, first.constraints, first.generator, cache=cache
+    )
     try:
-        pool = session.pool(rng)
+        if cache is not None:
+            pool = session.cached_pool(group_seed)
+        else:
+            pool = session.pool(
+                random.Random(group_seed) if group_seed is not None else None
+            )
     except FPRASUnavailable as error:
         return [
             (position, BatchResult(request, error=str(error)))
             for position, request in members
         ]
+    if mode == "adaptive":
+        outcomes = _run_adaptive_group(session, pool, members)
+    else:
+        outcomes = _run_fixed_group(session, pool, members)
+    if cache is not None:
+        try:
+            cache.save()
+        except (OSError, TypeError, ValueError):
+            # The cache is an accelerator, never an authority: an
+            # unwritable cache_dir — or an instance whose constants are
+            # not JSON-serializable — must not discard computed results.
+            pass
+    return outcomes
+
+
+def _run_fixed_group(
+    session: EstimationSession,
+    pool,
+    members: Sequence[tuple[int, BatchRequest]],
+) -> list[tuple[int, BatchResult]]:
+    from ..approx.fpras import FPRASUnavailable
+
     outcomes: list[tuple[int, BatchResult]] = []
     for position, request in members:
         try:
@@ -150,4 +210,63 @@ def _estimate_group(
             outcomes.append((position, BatchResult(request, error=str(error))))
         else:
             outcomes.append((position, BatchResult(request, result=result)))
+    return outcomes
+
+
+def _run_adaptive_group(
+    session: EstimationSession,
+    pool,
+    members: Sequence[tuple[int, BatchRequest]],
+) -> list[tuple[int, BatchResult]]:
+    """All requests of one group as concurrent early-stopping estimators.
+
+    The whole group is scheduled in one :meth:`estimate_adaptive_many`
+    call, so pool growth happens in shared doubling rounds; a request with
+    invalid parameters is reported individually without sinking the group.
+    """
+    from ..approx.fpras import FPRASUnavailable
+
+    specs = []
+    spec_positions = []
+    outcomes: list[tuple[int, BatchResult]] = []
+    for position, request in members:
+        try:
+            # Eagerly rehearse estimator construction — (ε, δ), max_samples
+            # *and* this query's positivity bound (which can underflow to
+            # 0.0 on extreme instances) — so one bad request is reported
+            # alone instead of aborting the whole group.  Certified
+            # impossibilities skip the rehearsal: like the fixed path, the
+            # zero-test resolves them before any estimator exists.  The
+            # shared construction point guarantees the rehearsal validates
+            # exactly what the scheduler will build.
+            if session.is_possible(request.query, request.answer):
+                session.adaptive_estimator(
+                    request.query,
+                    request.epsilon,
+                    request.delta,
+                    request.max_samples,
+                )
+        except (FPRASUnavailable, ValueError) as error:
+            outcomes.append((position, BatchResult(request, error=str(error))))
+            continue
+        specs.append(
+            (
+                request.query,
+                request.answer,
+                request.epsilon,
+                request.delta,
+                request.max_samples,
+            )
+        )
+        spec_positions.append((position, request))
+    try:
+        results = session.estimate_adaptive_many(pool, specs)
+    except (FPRASUnavailable, ValueError) as error:
+        outcomes.extend(
+            (position, BatchResult(request, error=str(error)))
+            for position, request in spec_positions
+        )
+        return outcomes
+    for (position, request), result in zip(spec_positions, results):
+        outcomes.append((position, BatchResult(request, result=result)))
     return outcomes

@@ -25,6 +25,19 @@ that a per-call run seeded identically would make, so pooled estimates are
 *bit-for-bit identical* to per-call :func:`~repro.approx.fpras.fpras_ocqa`
 results under the same seed (``tests/test_engine.py`` asserts this).
 
+Two layers sit on top of the fixed estimators:
+
+* **adaptive estimation** — :meth:`EstimationSession.estimate_adaptive`
+  runs a sequential early-stopping estimator
+  (:mod:`repro.approx.adaptive`) over the pool prefix, and
+  :meth:`EstimationSession.estimate_adaptive_many` schedules many such
+  estimators in doubling rounds over one shared pool (its length is the
+  slowest stopping time, not the sum);
+* **persistence** — an attached :class:`~repro.engine.store.CacheEntry`
+  makes decompositions, possibility verdicts, positivity bounds and the
+  pool's sample prefix survive the process
+  (:meth:`EstimationSession.cached_pool` resumes the stream bit-for-bit).
+
 Scope enforcement is unchanged: combinations outside the paper's positive
 results raise :class:`~repro.approx.fpras.FPRASUnavailable` with the same
 messages as the per-call API.
@@ -33,14 +46,16 @@ messages as the per-call API.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from ..approx.adaptive import AdaptiveResult, SequentialEstimator
 from ..approx.bounds import (
     rrfreq_lower_bound,
     singleton_frequency_lower_bound,
     srfreq_lower_bound,
     uo_singleton_fd_lower_bound,
 )
+from ..approx.intervals import ConfidenceInterval
 from ..approx.montecarlo import (
     EstimateResult,
     chernoff_sample_size,
@@ -63,6 +78,9 @@ from ..sampling.operations_sampler import UniformOperationsSampler
 from ..sampling.repair_sampler import RepairSampler
 from ..sampling.rng import resolve_rng
 from ..sampling.sequence_sampler import SequenceSampler
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (store imports session's pool)
+    from .store import CacheEntry
 
 
 def _unavailable(message: str) -> RuntimeError:
@@ -88,11 +106,21 @@ class SamplePool:
     adaptive ``dklr`` requests on near-zero probabilities, pass
     ``max_samples`` to bound the prefix — an unbounded stopping-rule run
     would grow the pool without limit.
+
+    ``preloaded`` warm-starts the stream with samples persisted by a
+    :class:`~repro.engine.store.CacheEntry`; ``draw`` is then only invoked
+    past the preloaded prefix (the caller must hand it an RNG restored to
+    the state recorded after the last persisted draw, so the stream
+    continues bit-for-bit).
     """
 
-    def __init__(self, draw: Callable[[], frozenset[Fact]]):
+    def __init__(
+        self,
+        draw: Callable[[], frozenset[Fact]],
+        preloaded: Iterable[frozenset[Fact]] | None = None,
+    ):
         self._draw = draw
-        self._samples: list[frozenset[Fact]] = []
+        self._samples: list[frozenset[Fact]] = list(preloaded or ())
 
     def __len__(self) -> int:
         """Number of samples materialized so far (not a limit)."""
@@ -110,6 +138,10 @@ class SamplePool:
             self.sample_at(length - 1)
         return self._samples[:length]
 
+    def materialized_samples(self) -> Sequence[frozenset[Fact]]:
+        """Every sample drawn so far (used by the cache store to persist)."""
+        return self._samples
+
 
 class EstimationSession:
     """Shared-state estimator for one ``(database, constraints, generator)``.
@@ -123,10 +155,12 @@ class EstimationSession:
         database: Database,
         constraints: FDSet,
         generator: MarkovChainGenerator,
+        cache: "CacheEntry | None" = None,
     ):
         self.database = database
         self.constraints = constraints
         self.generator = generator
+        self.cache = cache
         self._decomposition: BlockDecomposition | None = None
         self._witnesses: dict[
             tuple[ConjunctiveQuery, tuple], tuple[frozenset[Fact], ...]
@@ -137,9 +171,20 @@ class EstimationSession:
     # -- structural caches ---------------------------------------------------------
 
     def decomposition(self) -> BlockDecomposition:
-        """The block decomposition of ``(D, Σ)``, computed once (primary keys)."""
+        """The block decomposition of ``(D, Σ)``, computed once (primary keys).
+
+        With a cache entry attached, a persisted decomposition is decoded
+        instead of recomputed (and a fresh one is recorded for next time).
+        """
         if self._decomposition is None:
-            self._decomposition = block_decomposition(self.database, self.constraints)
+            if self.cache is not None:
+                self._decomposition = self.cache.get_decomposition()
+            if self._decomposition is None:
+                self._decomposition = block_decomposition(
+                    self.database, self.constraints
+                )
+                if self.cache is not None:
+                    self.cache.set_decomposition(self._decomposition)
         return self._decomposition
 
     def ensure_supported(self) -> None:
@@ -208,6 +253,37 @@ class EstimationSession:
         """One shared, lazily grown sample stream for this session."""
         return SamplePool(self._draw_facts(resolve_rng(rng)))
 
+    def cached_pool(self, seed: int | None) -> SamplePool:
+        """A pool warm-started from the session's cache entry (if possible).
+
+        Persisted samples preload the stream and the RNG resumes from the
+        recorded state, so warm draws continue the cold run's stream
+        bit-for-bit.  Without a cache entry or a seed this degrades to a
+        plain :meth:`pool` (an unseeded stream is not reproducible, so
+        persisting it would be meaningless).
+        """
+        rng = random.Random(seed) if seed is not None else None
+        if self.cache is None or rng is None:
+            return self.pool(rng)
+        preloaded = self.cache.preload_samples()
+        state = self.cache.rng_state() if preloaded else None
+        if state is not None:
+            try:
+                rng.setstate(state)
+            except (TypeError, ValueError, OverflowError):
+                # Shape-valid but meaningless state vectors (tampering)
+                # raise any of these from the C implementation.
+                state = None
+                rng = random.Random(seed)
+        if preloaded and state is None:
+            # Samples without a usable post-draw RNG state cannot be
+            # extended consistently: drop them so the entry is rewritten.
+            self.cache.discard_samples()
+            preloaded = []
+        shared = SamplePool(self._draw_facts(rng), preloaded=preloaded)
+        self.cache.attach_pool(shared, rng)
+        return shared
+
     # -- per-(query, answer) caches --------------------------------------------------
 
     def positivity_bound(self, query: ConjunctiveQuery) -> float:
@@ -222,6 +298,11 @@ class EstimationSession:
         if cached is not None:
             return cached
         self.ensure_supported()
+        if self.cache is not None:
+            persisted = self.cache.get_bound(query)
+            if persisted is not None:
+                self._bounds[query] = persisted
+                return persisted
         singleton = self.generator.singleton_only
         if isinstance(self.generator, UniformRepairs):
             bound = (
@@ -241,6 +322,8 @@ class EstimationSession:
             bound = rrfreq_lower_bound(self.database, query)
         value = float(bound)
         self._bounds[query] = value
+        if self.cache is not None:
+            self.cache.set_bound(query, value)
         return value
 
     def witnesses(
@@ -289,10 +372,15 @@ class EstimationSession:
         key = (query, answer)
         cached = self._possible.get(key)
         if cached is None:
-            cached = any(
-                image_is_consistent(witness, self.constraints)
-                for witness in self.witnesses(query, answer)
-            )
+            if self.cache is not None:
+                cached = self.cache.get_possible(query, answer)
+            if cached is None:
+                cached = any(
+                    image_is_consistent(witness, self.constraints)
+                    for witness in self.witnesses(query, answer)
+                )
+                if self.cache is not None:
+                    self.cache.set_possible(query, answer, cached)
             self._possible[key] = cached
         return cached
 
@@ -376,10 +464,25 @@ class EstimationSession:
         rng: random.Random | None = None,
         max_samples: int | None = None,
         pool: SamplePool | None = None,
-    ) -> list[EstimateResult]:
-        """Score many ``(query, answer)`` pairs against one shared pool."""
+        mode: str = "fixed",
+    ) -> list[EstimateResult | AdaptiveResult]:
+        """Score many ``(query, answer)`` pairs against one shared pool.
+
+        ``mode="fixed"`` (default) runs each request's classical estimator
+        against the pool; ``mode="adaptive"`` instead runs all requests as
+        concurrent sequential estimators scheduled in doubling rounds (see
+        :meth:`estimate_adaptive_many`), ignoring ``method``.
+        """
         if pool is None:
             pool = self.pool(rng)
+        if mode == "adaptive":
+            specs = [
+                (query, answer, epsilon, delta, max_samples)
+                for query, answer in requests
+            ]
+            return self.estimate_adaptive_many(pool, specs)
+        if mode != "fixed":
+            raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
         return [
             self.estimate_pooled(
                 pool,
@@ -392,6 +495,120 @@ class EstimationSession:
             )
             for query, answer in requests
         ]
+
+    # -- adaptive estimation -----------------------------------------------------------
+
+    def estimate_adaptive(
+        self,
+        query: ConjunctiveQuery,
+        answer: tuple = (),
+        *,
+        epsilon: float = 0.2,
+        delta: float = 0.05,
+        rng: random.Random | None = None,
+        pool: SamplePool | None = None,
+        max_samples: int | None = None,
+    ) -> AdaptiveResult:
+        """Sequential early-stopping estimate of ``P_{M_Σ,Q}(D, c̄)``.
+
+        Runs a :class:`~repro.approx.adaptive.SequentialEstimator` over the
+        pool's prefix (a fresh ``rng``-seeded pool when none is given).  The
+        (ε, δ) contract matches the fixed path — the estimator's fallback
+        cap *is* the fixed Chernoff budget — but easy answers stop after a
+        small fraction of it.  Reading the pool from position zero keeps
+        adaptive runs replayable against fixed runs on the same seed.
+        """
+        if pool is None:
+            pool = self.pool(rng)
+        else:
+            self.ensure_supported()
+        (result,) = self.estimate_adaptive_many(
+            pool, [(query, answer, epsilon, delta, max_samples)]
+        )
+        return result
+
+    def adaptive_estimator(
+        self,
+        query: ConjunctiveQuery,
+        epsilon: float,
+        delta: float,
+        max_samples: int | None = None,
+    ) -> SequentialEstimator:
+        """A sequential estimator for one request, with this query's bound.
+
+        The single construction point for adaptive estimators — the batch
+        planner rehearses through it for per-request error isolation, and
+        :meth:`estimate_adaptive_many` builds the real ones through it, so
+        the validated parameters can never drift apart.
+        """
+        return SequentialEstimator(
+            epsilon,
+            delta,
+            p_lower=self.positivity_bound(query),
+            max_samples=max_samples,
+        )
+
+    def estimate_adaptive_many(
+        self,
+        pool: SamplePool,
+        specs: Sequence[tuple[ConjunctiveQuery, tuple, float, float, int | None]],
+        *,
+        initial_round: int = 64,
+    ) -> list[AdaptiveResult]:
+        """Run many sequential estimators against one pool in doubling rounds.
+
+        ``specs`` rows are ``(query, answer, epsilon, delta, max_samples)``.
+        Rounds double a shared position target (capped by the largest
+        surviving estimator's own sample cap); every pending estimator
+        consumes the same pool prefix up to the round target, with samples
+        drawn on demand — so ``N`` concurrent adaptive requests cost one
+        sampling pass whose length is the *maximum* (not the sum) of their
+        stopping times, and nothing is drawn past the slowest stop.
+        Certified-impossible answers never touch the pool, and results are
+        identical to running :meth:`estimate_adaptive` per request against
+        the same pool.
+        """
+        self.ensure_supported()
+        results: list[AdaptiveResult | None] = [None] * len(specs)
+        pending: list[list] = []  # [index, witnesses, estimator, position]
+        for index, (query, answer, epsilon, delta, max_samples) in enumerate(specs):
+            if not self.is_possible(query, answer):
+                results[index] = self._certified_zero_adaptive(epsilon, delta)
+                continue
+            estimator = self.adaptive_estimator(query, epsilon, delta, max_samples)
+            pending.append([index, self.witnesses(query, answer), estimator, 0])
+        target = initial_round
+        while pending:
+            goal = min(target, max(state[2].sample_cap for state in pending))
+            still_pending = []
+            for state in pending:
+                index, witnesses, estimator, position = state
+                while position < goal and not estimator.decided:
+                    hit = self._entails_sample(witnesses, pool.sample_at(position))
+                    position += 1
+                    estimator.offer(1.0 if hit else 0.0)
+                state[3] = position
+                if estimator.decided:
+                    results[index] = estimator.result()
+                else:
+                    still_pending.append(state)
+            pending = still_pending
+            target *= 2
+        return results  # type: ignore[return-value]  # every slot is filled above
+
+    @staticmethod
+    def _certified_zero_adaptive(epsilon: float, delta: float) -> AdaptiveResult:
+        return AdaptiveResult(
+            estimate=0.0,
+            samples_used=0,
+            epsilon=epsilon,
+            delta=delta,
+            method="possibility-zero",
+            interval=ConfidenceInterval(
+                lower=0.0, upper=0.0, confidence=1.0, method="possibility-zero"
+            ),
+            certified_zero=True,
+        )
 
     def fixed_budget(
         self,

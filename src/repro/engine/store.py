@@ -1,0 +1,376 @@
+"""Persistent cross-run cache for estimation sessions.
+
+Every process so far started cold: block decompositions, possibility
+verdicts, positivity bounds and — most expensively — the sampled-repair
+streams were recomputed on each CLI rerun, bench iteration or CI job.
+:class:`CacheStore` persists them on disk so a repeated workload
+warm-starts for free.
+
+Layout: one JSON file per cache entry under the store directory, named by
+the entry key — the SHA-256 content hash of the canonical serialization of
+``(database, Σ, generator, seed)``.  Anything that could change a result
+changes the key, so a hit can never replay stale state.  (The seed is part
+of the key because the sample stream depends on it; the seed-independent
+structural fields are deliberately duplicated across seeds — one key must
+cover everything any persisted field could depend on.)  Each entry holds:
+
+* ``version`` — the store format version; a mismatch invalidates the entry;
+* ``decomposition`` — the block decomposition (Lemma 5.2), as
+  ``[{relation, group, facts}]`` rows;
+* ``possibility`` — the cached polynomial zero-test verdicts, keyed by
+  ``"<query>|<answer JSON>"``;
+* ``bounds`` — positivity lower bounds, keyed by the query text;
+* ``samples`` + ``rng_state`` — the materialized prefix of the shared
+  :class:`~repro.engine.session.SamplePool` (each sample a sorted list of
+  indices into the database's canonical fact order — compact, and decoding
+  is a list lookup instead of fact reconstruction) and the
+  ``random.Random`` state *after* the last persisted draw, so a warm pool
+  extends the stream bit-for-bit where the cold run left off.  Replayed
+  estimates are therefore identical to cold-run estimates.
+
+Failure policy: the cache is an accelerator, never an authority.  Any
+read problem — missing file, truncated/corrupt JSON, version mismatch,
+decoded facts that disagree with the live database — silently degrades to
+recomputation (``tests/test_store.py`` exercises each path).  Writes go
+through a temp file + ``os.replace`` so readers never observe a partially
+written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import TYPE_CHECKING, Any
+
+from ..core.blocks import Block, BlockDecomposition
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.facts import Fact
+from ..core.queries import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session imports store)
+    from .session import SamplePool
+
+#: Bump when the on-disk schema changes; old entries are then recomputed.
+STORE_VERSION = 1
+
+
+def _freeze(value: Any) -> Any:
+    """JSON arrays decode to lists; fact/group values need tuples back."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _encode_fact(fact: Fact) -> list:
+    return [fact.relation, *fact.values]
+
+
+def _decode_fact(row: Any) -> Fact:
+    if not isinstance(row, list) or len(row) < 2:
+        raise CacheFormatError(f"malformed fact row {row!r}")
+    relation, *values = row
+    return Fact(str(relation), tuple(_freeze(v) for v in values))
+
+
+def _encode_sample(sample: frozenset[Fact], index_of: dict[Fact, int]) -> list[int]:
+    return sorted(index_of[f] for f in sample)
+
+
+class CacheFormatError(ValueError):
+    """Raised internally for undecodable entry payloads (never escapes reads)."""
+
+
+def instance_cache_key(
+    database: Database,
+    constraints: FDSet,
+    generator_name: str,
+    seed: int | None,
+) -> str:
+    """SHA-256 content hash of ``(database, Σ, generator, seed)``.
+
+    The serialization is canonical (sorted facts, sorted FD attribute
+    lists, sorted JSON keys), so equal instances hash equally regardless
+    of construction order.  Non-JSON-native constants serialize via
+    ``repr`` — which carries the type (``Decimal('1')`` vs ``'1'``) — so
+    type-distinct values that merely *stringify* equally cannot collide
+    onto one key.
+    """
+    schema = constraints.schema
+    payload = {
+        "schema": {rel.name: list(rel.attributes) for rel in schema},
+        "facts": [_encode_fact(f) for f in database.sorted_facts()],
+        "fds": [
+            [d.relation, sorted(map(str, d.lhs)), sorted(map(str, d.rhs))]
+            for d in sorted(constraints, key=str)
+        ],
+        "generator": generator_name,
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CacheEntry:
+    """One persisted ``(database, Σ, generator, seed)`` bundle.
+
+    Obtained from :meth:`CacheStore.entry`.  Getters return ``None`` on any
+    miss *or* decode problem; setters mark the entry dirty; :meth:`save`
+    writes atomically (and is a no-op when nothing changed).
+    """
+
+    def __init__(self, path: str, database: Database, constraints: FDSet):
+        self.path = path
+        self._database = database
+        self._constraints = constraints
+        self._dirty = False
+        self._document = self._load()
+        self._pool: "SamplePool | None" = None
+        self._rng = None
+
+    # -- load / save -----------------------------------------------------------------
+
+    def _load(self) -> dict[str, Any]:
+        empty = {
+            "version": STORE_VERSION,
+            "decomposition": None,
+            "possibility": {},
+            "bounds": {},
+            "samples": [],
+            "rng_state": None,
+        }
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return empty
+        if not isinstance(document, dict) or document.get("version") != STORE_VERSION:
+            return empty
+        for field, kind in (("possibility", dict), ("bounds", dict), ("samples", list)):
+            if not isinstance(document.get(field), kind):
+                return empty
+        return document
+
+    def save(self) -> None:
+        """Atomically persist the entry if anything changed since loading."""
+        if self._pool is not None:
+            self._sync_pool()
+        if not self._dirty:
+            return
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(self._document, handle)
+            os.replace(temp_path, self.path)
+        except Exception:
+            # Clean the temp file up on *any* failure — e.g. TypeError from
+            # facts whose constants are not JSON-native — before re-raising.
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # -- decomposition ---------------------------------------------------------------
+
+    def get_decomposition(self) -> BlockDecomposition | None:
+        """The persisted block decomposition, validated against ``(D, Σ)``.
+
+        Validation is structural, not just set-level: the fact union must
+        equal the database, every block must be a genuine key-group of its
+        relation (per Σ), groups must be unique, and blocks are re-sorted
+        into the canonical order :func:`block_decomposition` produces — so
+        a tampered regrouping or reordering is rejected/neutralized rather
+        than silently changing sampler behaviour.
+        """
+        rows = self._document.get("decomposition")
+        if not isinstance(rows, list):
+            return None
+        try:
+            blocks = []
+            for row in rows:
+                facts = frozenset(_decode_fact(r) for r in row["facts"])
+                blocks.append(Block(str(row["relation"]), _freeze(row["group"]), facts))
+        except (CacheFormatError, KeyError, TypeError, ValueError):
+            return None
+        decoded = frozenset(f for block in blocks for f in block.facts)
+        if decoded != self._database.facts:
+            return None  # key collision or corruption: recompute, never trust
+        if not self._blocks_match_constraints(blocks):
+            return None
+        blocks.sort(key=lambda block: (block.relation, repr(block.group)))
+        return BlockDecomposition(tuple(blocks))
+
+    def _blocks_match_constraints(self, blocks: list[Block]) -> bool:
+        """Whether every decoded block is a real key-group under ``Σ``."""
+        key_by_relation = {d.relation: d for d in self._constraints}
+        schema = self._constraints.schema
+        seen: set[tuple] = set()
+        try:
+            for block in blocks:
+                if any(f.relation != block.relation for f in block.facts):
+                    return False
+                dependency = key_by_relation.get(block.relation)
+                if dependency is None:
+                    # Relations without a key contribute singleton blocks.
+                    (only,) = block.facts
+                    if block.group != (str(only),):
+                        return False
+                else:
+                    positions = schema.relation(block.relation).positions_of(
+                        sorted(dependency.lhs)
+                    )
+                    groups = {
+                        tuple(f.values[i] for i in positions) for f in block.facts
+                    }
+                    if groups != {block.group}:
+                        return False
+                identity = (block.relation, block.group)
+                if identity in seen:
+                    return False  # a split block: groups must be maximal
+                seen.add(identity)
+        except (KeyError, TypeError, ValueError):
+            return False
+        return True
+
+    def set_decomposition(self, decomposition: BlockDecomposition) -> None:
+        """Persist a freshly computed decomposition."""
+        self._document["decomposition"] = [
+            {
+                "relation": block.relation,
+                "group": list(block.group),
+                "facts": [_encode_fact(f) for f in block.sorted_facts()],
+            }
+            for block in decomposition
+        ]
+        self._dirty = True
+
+    # -- possibility verdicts and positivity bounds ------------------------------------
+
+    @staticmethod
+    def _request_key(query: ConjunctiveQuery, answer: tuple) -> str:
+        # default=repr, not str: repr carries the type, so type-distinct
+        # constants that stringify equally (Decimal('1') vs '1') cannot
+        # collide onto one verdict key.
+        return f"{query}|{json.dumps(list(answer), default=repr)}"
+
+    def get_possible(self, query: ConjunctiveQuery, answer: tuple) -> bool | None:
+        """The cached zero-test verdict for ``(query, answer)``, if any."""
+        value = self._document["possibility"].get(self._request_key(query, answer))
+        return value if isinstance(value, bool) else None
+
+    def set_possible(self, query: ConjunctiveQuery, answer: tuple, value: bool) -> None:
+        """Persist one zero-test verdict."""
+        self._document["possibility"][self._request_key(query, answer)] = bool(value)
+        self._dirty = True
+
+    def get_bound(self, query: ConjunctiveQuery) -> float | None:
+        """The cached positivity lower bound for ``query``, if any.
+
+        A bound outside ``(0, 1]`` (tampering, or a serialization accident)
+        is treated as a miss — estimators reject such values, and the cache
+        must degrade to recomputation rather than propagate the error.
+        """
+        value = self._document["bounds"].get(str(query))
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value) if 0 < value <= 1 else None
+
+    def set_bound(self, query: ConjunctiveQuery, value: float) -> None:
+        """Persist one positivity bound."""
+        self._document["bounds"][str(query)] = float(value)
+        self._dirty = True
+
+    # -- sample batches ---------------------------------------------------------------
+
+    def _fact_order(self) -> list[Fact]:
+        if not hasattr(self, "_sorted_facts"):
+            self._sorted_facts = self._database.sorted_facts()
+        return self._sorted_facts
+
+    def preload_samples(self) -> list[frozenset[Fact]]:
+        """The persisted sample prefix (empty on any decode problem).
+
+        Samples are index lists into the database's canonical fact order —
+        an out-of-range or non-integer index marks the entry corrupt and
+        the whole batch is **discarded** (the RNG state would be
+        meaningless for a different stream), so the next :meth:`save`
+        rewrites a clean entry instead of preserving the damage.
+        """
+        order = self._fact_order()
+        decoded: list[frozenset[Fact]] = []
+        try:
+            for row in self._document["samples"]:
+                if any(
+                    # bool is an int subclass: true/false would silently
+                    # decode as fact 1/0, altering the replayed stream.
+                    isinstance(index, bool) or not isinstance(index, int) or index < 0
+                    for index in row
+                ):
+                    raise CacheFormatError("malformed sample index row")
+                sample = frozenset(order[index] for index in row)
+                if len(sample) != len(row):
+                    raise CacheFormatError("duplicate sample indices")
+                decoded.append(sample)
+        except (CacheFormatError, IndexError, TypeError, ValueError):
+            self.discard_samples()
+            return []
+        return decoded
+
+    def discard_samples(self) -> None:
+        """Drop the persisted sample batch (and its RNG state) as corrupt."""
+        if self._document["samples"] or self._document.get("rng_state") is not None:
+            self._document["samples"] = []
+            self._document["rng_state"] = None
+            self._dirty = True
+
+    def rng_state(self) -> tuple | None:
+        """The persisted ``random.Random`` state, decoded for ``setstate``."""
+        raw = self._document.get("rng_state")
+        if not isinstance(raw, list) or len(raw) != 3 or not isinstance(raw[1], list):
+            return None
+        try:
+            return (raw[0], tuple(raw[1]), raw[2])
+        except TypeError:
+            return None
+
+    def attach_pool(self, pool: "SamplePool", rng) -> None:
+        """Track a live pool + RNG so :meth:`save` persists newly drawn samples."""
+        self._pool = pool
+        self._rng = rng
+
+    def _sync_pool(self) -> None:
+        materialized = self._pool.materialized_samples()
+        if len(materialized) <= len(self._document["samples"]):
+            return
+        index_of = {fact: index for index, fact in enumerate(self._fact_order())}
+        self._document["samples"] = [
+            _encode_sample(s, index_of) for s in materialized
+        ]
+        state = self._rng.getstate()
+        self._document["rng_state"] = [state[0], list(state[1]), state[2]]
+        self._dirty = True
+
+
+class CacheStore:
+    """A directory of :class:`CacheEntry` files, one per instance key."""
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+
+    def entry(
+        self,
+        database: Database,
+        constraints: FDSet,
+        generator_name: str,
+        seed: int | None,
+    ) -> CacheEntry:
+        """Load (or initialize empty) the entry for this instance key."""
+        key = instance_cache_key(database, constraints, generator_name, seed)
+        path = os.path.join(self.directory, f"{key}.json")
+        return CacheEntry(path, database, constraints)

@@ -17,6 +17,8 @@ Workload JSON format (consumed by ``python -m repro batch`` and
 :func:`load_workload`; full reference in ``docs/FORMATS.md``)::
 
     {
+      "mode":      "adaptive",
+      "cache_dir": ".repro-cache",
       "defaults":  {"generator": "M_ur", "epsilon": 0.2},
       "instances": {"shop": {...inline instance...}, "hr": "hr.json"},
       "requests":  [
@@ -24,6 +26,10 @@ Workload JSON format (consumed by ``python -m repro batch`` and
         {"instance": "shop", "query": "Ans(?x) :- R(?x, ?y)", "answers": "all"}
       ]
     }
+
+The optional top-level ``mode`` (``"fixed"`` | ``"adaptive"``) and
+``cache_dir`` fields carry execution options; :func:`load_workload_spec`
+returns them alongside the parsed requests as a :class:`WorkloadSpec`.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import re
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from .chains.generators import ALL_GENERATORS
@@ -110,6 +117,55 @@ def _freeze(value: Any) -> Constant:
 
 _GENERATORS_BY_NAME = {generator.name: generator for generator in ALL_GENERATORS}
 _WORKLOAD_METHODS = ("auto", "fixed", "dklr")
+_WORKLOAD_MODES = ("fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A parsed workload: the request rows plus execution options.
+
+    ``mode`` selects the estimation strategy (``"fixed"`` classical
+    estimators, ``"adaptive"`` sequential early stopping) and ``cache_dir``
+    names a persistent :class:`~repro.engine.store.CacheStore` directory;
+    both default to CLI-flag overridable values.
+    """
+
+    requests: list = field(default_factory=list)
+    mode: str = "fixed"
+    cache_dir: str | None = None
+
+
+def workload_spec_from_dict(
+    document: Mapping[str, Any], *, base_dir: str | None = None
+) -> WorkloadSpec:
+    """Parse a workload document including the top-level execution options.
+
+    ``mode`` must be one of ``"fixed"`` / ``"adaptive"``; a relative
+    ``cache_dir`` resolves against ``base_dir`` (the workload file's
+    directory when loaded from disk).
+    """
+    requests = workload_from_dict(document, base_dir=base_dir)
+    mode = document.get("mode", "fixed")
+    if mode not in _WORKLOAD_MODES:
+        raise InstanceFormatError(
+            f"unknown mode {mode!r}; choose from {_WORKLOAD_MODES}"
+        )
+    cache_dir = document.get("cache_dir")
+    if cache_dir is not None:
+        if not isinstance(cache_dir, str):
+            raise InstanceFormatError("'cache_dir' must be a path string")
+        if base_dir is not None and not os.path.isabs(cache_dir):
+            cache_dir = os.path.join(base_dir, cache_dir)
+    return WorkloadSpec(requests=requests, mode=mode, cache_dir=cache_dir)
+
+
+def load_workload_spec(path: str) -> WorkloadSpec:
+    """Load a workload file as a :class:`WorkloadSpec` (requests + options)."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    return workload_spec_from_dict(
+        document, base_dir=os.path.dirname(os.path.abspath(path))
+    )
 
 
 def workload_from_dict(

@@ -1,4 +1,12 @@
-"""Synthetic workload generators for examples, tests and benches."""
+"""Synthetic workload generators for examples, tests and benches.
+
+Four instance families, each tied to a part of the paper: block databases
+(the §5/§6 primary-key setting), multi-key databases via Prop 5.5's graph
+encoding (§7), FD stars scaling Prop D.6's pathology, and the
+inconsistency-ratio protocol of the paper's benchmarking reference [4];
+plus the worked scenarios (Figure 2, the introduction's data-integration
+example) used throughout the docs.
+"""
 
 from .generators import (
     Workload,

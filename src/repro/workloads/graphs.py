@@ -1,4 +1,11 @@
-"""Random graph workloads for the reduction and scaling experiments."""
+"""Random graph workloads for the reduction and scaling experiments.
+
+The hardness constructions consume graphs: ♯H-Coloring (Theorem 5.1(1))
+takes arbitrary graphs, while Prop 5.5's independent-set encoding requires
+*degree-bounded* inputs (its relation arity is the maximum degree plus
+one) and the `multikey` workloads additionally want them connected.  The
+generators here produce those inputs reproducibly from a seeded RNG.
+"""
 
 from __future__ import annotations
 

@@ -61,6 +61,7 @@ class OrdersScenario:
         return cq((n, t), (atom("Customer", i, n), atom("Order", o, i, t)))
 
     def customer_names_query(self) -> ConjunctiveQuery:
+        """``Ans(n) :- Customer(i, n)``: which names survive repair at all."""
         i, n = Variable("i"), Variable("n")
         return cq((n,), (atom("Customer", i, n),))
 

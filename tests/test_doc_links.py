@@ -1,0 +1,56 @@
+"""Link check over README.md and docs/*.md (the CI docs job runs this).
+
+Relative links — to files, directories, or ``#anchors`` — must resolve
+inside the repository.  External ``http(s)`` links are only checked for
+shape (no network in tests).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCUMENTS = sorted([ROOT / "README.md", *(ROOT / "docs").glob("*.md")])
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.M)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    cleaned = re.sub(r"[`*]", "", heading.strip().lower())
+    cleaned = re.sub(r"[^\w\- ]", "", cleaned)
+    return cleaned.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    return {github_anchor(h) for h in _HEADING.findall(path.read_text())}
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+def test_links_resolve(document):
+    text = document.read_text()
+    problems = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://")):
+            continue
+        if target.startswith("mailto:"):
+            continue
+        path_part, _, anchor = target.partition("#")
+        base = (
+            document if not path_part else (document.parent / path_part).resolve()
+        )
+        if path_part and not base.exists():
+            problems.append(f"{target}: no such file {base}")
+            continue
+        if anchor:
+            if base.is_dir():
+                problems.append(f"{target}: anchor on a directory")
+            elif anchor not in anchors_of(base):
+                problems.append(f"{target}: no heading for #{anchor} in {base.name}")
+    assert not problems, f"{document.name} has broken links: {problems}"
+
+
+def test_corpus_is_nonempty():
+    assert len(DOCUMENTS) >= 5  # README + ARCHITECTURE/FORMATS/API/TUTORIAL

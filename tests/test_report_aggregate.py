@@ -1,0 +1,61 @@
+"""Unit tests for ``benchmarks/report_all.py``'s aggregate-JSON parsing."""
+
+import pathlib
+import sys
+
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS))
+
+from report_all import aggregate_rows, expected_experiments, parse_value  # noqa: E402
+
+
+def test_rows_parse_with_types_and_spaced_values():
+    sample = (
+        "[E24] workload=E21-sweep  fixed_samples=17256  reduction=3.91  ok=true\n"
+        "[E24] note=adaptive cost ~ 1/p stays put  min_reduction_required=3.0\n"
+        "pytest noise that is not a row\n"
+        "[E18] estimator=fixed-chernoff  samples=4146\n"
+    )
+    aggregate = aggregate_rows(sample)
+    assert aggregate["E24"][0] == {
+        "workload": "E21-sweep",
+        "fixed_samples": 17256,
+        "reduction": 3.91,
+        "ok": True,
+    }
+    assert aggregate["E24"][1]["note"] == "adaptive cost ~ 1/p stays put"
+    assert aggregate["E18"] == [{"estimator": "fixed-chernoff", "samples": 4146}]
+
+
+def test_rows_survive_missing_trailing_newline_between_streams():
+    # report_all joins the child's stdout and stderr; a stdout fragment
+    # without a trailing newline must not swallow the first stderr row.
+    stdout_fragment = "3 passed in 1.2s"
+    stderr_rows = "[E24] reduction=3.91\n"
+    aggregate = aggregate_rows(stdout_fragment + "\n" + stderr_rows)
+    assert aggregate == {"E24": [{"reduction": 3.91}]}
+
+
+def test_expected_experiments_cover_e24():
+    experiments = expected_experiments(BENCHMARKS)
+    assert "E24" in experiments and "E23" in experiments and "E1" in experiments
+
+
+@pytest.mark.parametrize(
+    "raw, value",
+    [("3", 3), ("3.91", 3.91), ("true", True), ("false", False), ("dklr", "dklr")],
+)
+def test_parse_value_typing(raw, value):
+    assert parse_value(raw) == value
+
+
+@pytest.mark.parametrize("raw", ["inf", "-inf", "nan", "Infinity"])
+def test_non_finite_values_stay_strings_for_valid_json(raw):
+    # json.dumps would render bare Infinity/NaN — invalid JSON downstream.
+    import json
+
+    value = parse_value(raw)
+    assert isinstance(value, str)
+    json.dumps({"row": value}, allow_nan=False)  # must not raise

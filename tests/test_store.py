@@ -1,0 +1,482 @@
+"""Persistent cache store: warm-start reuse, keying, and corruption recovery.
+
+The store's two promises: (1) a warm run replays the cold run bit-for-bit
+without redoing structural work (no re-decomposition), and (2) *any*
+damage to the on-disk state — truncation, garbage, stale versions,
+tampered payloads — silently degrades to recomputation and can never
+change a result.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.chains.generators import M_UR, M_US
+from repro.cli import main
+from repro.core import FDSet
+from repro.core.blocks import block_decomposition
+from repro.engine import (
+    BatchRequest,
+    CacheStore,
+    EstimationSession,
+    batch_estimate,
+    instance_cache_key,
+)
+from repro.io import (
+    InstanceFormatError,
+    instance_to_dict,
+    load_workload_spec,
+    workload_spec_from_dict,
+)
+from repro.core.queries import atom, cq, var
+from repro.workloads import figure2_database
+
+x, y = var("x"), var("y")
+
+EPSILON, DELTA = 0.5, 0.2
+
+
+def fig2_requests():
+    database, constraints = figure2_database()
+    query = cq((x,), (atom("R", x, y),))
+    return [
+        BatchRequest(
+            database,
+            constraints,
+            M_UR,
+            query,
+            answer=c,
+            epsilon=EPSILON,
+            delta=DELTA,
+        )
+        for c in sorted(query.answers(database), key=repr)
+    ]
+
+
+def entry_path(cache_dir):
+    (name,) = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+    return os.path.join(cache_dir, name)
+
+
+class TestKeying:
+    def test_key_is_insensitive_to_fact_order(self):
+        database, constraints = figure2_database()
+        from repro.core import Database
+
+        shuffled = Database(
+            list(reversed(database.sorted_facts())), schema=database.schema
+        )
+        assert instance_cache_key(
+            database, constraints, "M_ur", 7
+        ) == instance_cache_key(shuffled, constraints, "M_ur", 7)
+
+    def test_key_distinguishes_type_distinct_constants(self):
+        # Decimal('1') and the string '1' stringify identically; their
+        # instances must not share a cache entry (repr carries the type).
+        from decimal import Decimal
+
+        from repro.core import Database, Schema, fact, fd
+
+        schema = Schema.from_spec({"R": ["A", "B"]})
+        constraints = FDSet(schema, [fd("R", "A", "B")])
+        decimals = Database(
+            [fact("R", Decimal("1"), Decimal("2"))], schema=schema
+        )
+        strings = Database([fact("R", "1", "2")], schema=schema)
+        assert instance_cache_key(
+            decimals, constraints, "M_ur", 7
+        ) != instance_cache_key(strings, constraints, "M_ur", 7)
+
+    def test_key_changes_with_every_component(self):
+        database, constraints = figure2_database()
+        base = instance_cache_key(database, constraints, "M_ur", 7)
+        assert base != instance_cache_key(database, constraints, "M_us", 7)
+        assert base != instance_cache_key(database, constraints, "M_ur", 8)
+        assert base != instance_cache_key(database, constraints, "M_ur", None)
+        from repro.core import Database
+
+        smaller = Database(database.sorted_facts()[:-1], schema=database.schema)
+        assert base != instance_cache_key(smaller, constraints, "M_ur", 7)
+
+
+class TestWarmStart:
+    def test_warm_run_replays_cold_run_bit_for_bit(self, tmp_path):
+        requests = fig2_requests()
+        cold = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        warm = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        plain = batch_estimate(requests, seed=7)
+        assert [r.result for r in warm] == [r.result for r in cold]
+        assert [r.result for r in plain] == [r.result for r in cold]
+
+    def test_warm_run_does_not_redecompose(self, tmp_path, monkeypatch):
+        requests = fig2_requests()
+        batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+
+        calls = []
+
+        def counting(database, constraints):
+            calls.append(1)
+            return block_decomposition(database, constraints)
+
+        monkeypatch.setattr("repro.engine.session.block_decomposition", counting)
+        warm = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        assert all(r.ok for r in warm)
+        assert calls == []  # decomposition came from disk, not recomputation
+
+    def test_longer_warm_run_extends_the_persisted_stream(self, tmp_path):
+        requests = fig2_requests()
+        # Cold run with loose accuracy persists a short prefix ...
+        batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        with open(entry_path(tmp_path)) as handle:
+            short = len(json.load(handle)["samples"])
+        # ... a tighter warm run needs more samples and extends the file.
+        tighter = [
+            BatchRequest(
+                r.database,
+                r.constraints,
+                r.generator,
+                r.query,
+                answer=r.answer,
+                epsilon=0.3,
+                delta=0.1,
+            )
+            for r in requests
+        ]
+        tight_cached = batch_estimate(tighter, seed=7, cache_dir=str(tmp_path))
+        with open(entry_path(tmp_path)) as handle:
+            extended = len(json.load(handle)["samples"])
+        assert extended > short
+        # The extended stream is still the one a cold run would draw.
+        tight_plain = batch_estimate(tighter, seed=7)
+        assert [r.result for r in tight_cached] == [r.result for r in tight_plain]
+
+    def test_adaptive_mode_shares_the_same_cache(self, tmp_path):
+        requests = fig2_requests()
+        batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        cached = batch_estimate(
+            requests, seed=7, cache_dir=str(tmp_path), mode="adaptive"
+        )
+        plain = batch_estimate(requests, seed=7, mode="adaptive")
+        assert [r.result for r in cached] == [r.result for r in plain]
+
+    def test_no_seed_means_no_cache_files(self, tmp_path):
+        results = batch_estimate(fig2_requests(), cache_dir=str(tmp_path))
+        assert all(r.ok for r in results)
+        assert os.listdir(tmp_path) == []
+
+    def test_possibility_keys_distinguish_type_distinct_answers(self, tmp_path):
+        # Decimal('1') and '1' stringify equally; a verdict cached for one
+        # must never be returned for the other (the one way a cache could
+        # have changed a result, even within a single run).
+        from decimal import Decimal
+
+        from repro.core.queries import cq
+
+        store = CacheStore(str(tmp_path))
+        database, constraints = figure2_database()
+        entry = store.entry(database, constraints, "M_ur", 7)
+        query = cq((x,), (atom("R", x, y),))
+        entry.set_possible(query, ("1",), False)
+        assert entry.get_possible(query, ("1",)) is False
+        assert entry.get_possible(query, (Decimal("1"),)) is None
+
+    def test_session_reuses_cached_bounds_and_possibility(self, tmp_path):
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        store = CacheStore(str(tmp_path))
+        entry = store.entry(database, constraints, "M_ur", 7)
+        session = EstimationSession(database, constraints, M_UR, cache=entry)
+        bound = session.positivity_bound(query)
+        assert session.is_possible(query, ("a1",)) is True
+        entry.save()
+
+        fresh_entry = store.entry(database, constraints, "M_ur", 7)
+        fresh = EstimationSession(database, constraints, M_UR, cache=fresh_entry)
+        assert fresh.positivity_bound(query) == bound
+        assert fresh.is_possible(query, ("a1",)) is True
+
+
+class TestCorruption:
+    """Every damage mode degrades to recomputation — never a wrong answer."""
+
+    @pytest.fixture
+    def populated(self, tmp_path):
+        requests = fig2_requests()
+        baseline = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        return requests, baseline, entry_path(tmp_path), str(tmp_path)
+
+    def rerun_and_compare(self, requests, baseline, cache_dir):
+        damaged = batch_estimate(requests, seed=7, cache_dir=cache_dir)
+        assert [r.result for r in damaged] == [r.result for r in baseline]
+
+    def test_truncated_file(self, populated):
+        requests, baseline, path, cache_dir = populated
+        content = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(content[: len(content) // 2])
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_garbage_file(self, populated):
+        requests, baseline, path, cache_dir = populated
+        with open(path, "w") as handle:
+            handle.write("not json at all \x00\x01")
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_stale_version(self, populated):
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["version"] = -1
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+        # The rerun rewrote the entry at the current version.
+        assert json.load(open(entry_path(cache_dir)))["version"] != -1
+
+    def test_tampered_decomposition_facts(self, populated):
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["decomposition"][0]["facts"] = [["R", "evil", "fact"]]
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_regrouped_decomposition_rejected(self, populated):
+        # Merge two blocks without changing the fact union: the set-level
+        # check passes but the grouping no longer matches Σ's key.
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        rows = document["decomposition"]
+        assert len(rows) >= 2
+        rows[0]["facts"].extend(rows[1]["facts"])
+        del rows[1]
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_reordered_decomposition_is_canonicalized(self, populated):
+        # A valid but reordered block list must not change the sampler's
+        # block iteration order (and hence the sample stream).
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["decomposition"].reverse()
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_out_of_range_sample_indices(self, populated):
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["samples"] = [[0, 999999]]
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_boolean_sample_indices_rejected(self, populated):
+        # bool is an int subclass: [true, 5] must not decode as facts 1, 5.
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["samples"][0] = [True, 5]
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+        rewritten = json.load(open(entry_path(cache_dir)))
+        assert all(
+            not isinstance(index, bool)
+            for row in rewritten["samples"]
+            for index in row
+        )
+
+    def test_malformed_rng_state(self, populated):
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["rng_state"] = ["bogus"]
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_wrong_field_types(self, populated):
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["possibility"] = "not-a-dict"
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_out_of_range_bound_degrades_to_recompute(self, populated):
+        # Estimators reject p_lower outside (0, 1]; a tampered bound must
+        # read as a miss, not surface as a ValueError (or an error row).
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["bounds"] = {key: 0.0 for key in document["bounds"]}
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+        adaptive = batch_estimate(
+            requests, seed=7, cache_dir=cache_dir, mode="adaptive"
+        )
+        assert all(r.ok for r in adaptive)
+
+    def test_corrupt_samples_are_discarded_and_entry_rewritten(self, populated):
+        # Even when the recovery run draws *fewer* samples than the corrupt
+        # record held, the damage must not be preserved — the rewritten
+        # entry warms the third run.
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["samples"][0] = [0, 999999]
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+        rewritten = json.load(open(entry_path(cache_dir)))
+        assert all(
+            all(isinstance(i, int) and i < 6 for i in row)
+            for row in rewritten["samples"]
+        )
+        assert rewritten["samples"]  # the clean stream was re-persisted
+
+    def test_shape_valid_but_meaningless_rng_state(self, populated):
+        # Out-of-range state ints pass the shape check but make setstate
+        # raise from the C layer (OverflowError) — must degrade, not crash.
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["rng_state"][1] = [2**64] * len(document["rng_state"][1])
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+
+    def test_non_json_constants_never_discard_results(self, tmp_path):
+        # Fact constants are any hashable; Decimal values make the entry
+        # unserializable (TypeError from json.dump), which must not abort
+        # the batch after its estimates were computed.
+        from decimal import Decimal
+
+        from repro.core import Database, Schema, fact, fd
+        from repro.core.queries import atom, boolean_cq
+
+        schema = Schema.from_spec({"R": ["A", "B"]})
+        constraints = FDSet(schema, [fd("R", "A", "B")])
+        database = Database(
+            [
+                fact("R", Decimal("1"), Decimal("2")),
+                fact("R", Decimal("1"), Decimal("3")),
+            ],
+            schema=schema,
+        )
+        request = BatchRequest(
+            database,
+            constraints,
+            M_UR,
+            boolean_cq(atom("R", Decimal("1"), Decimal("2"))),
+            epsilon=EPSILON,
+            delta=DELTA,
+        )
+        results = batch_estimate([request], seed=7, cache_dir=str(tmp_path))
+        assert results[0].ok
+        plain = batch_estimate([request], seed=7)
+        assert [r.result for r in results] == [r.result for r in plain]
+
+    def test_unwritable_cache_dir_never_discards_results(self, tmp_path):
+        # cache_dir colliding with an existing *file*: saving fails, but the
+        # batch's computed results must still come back.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        requests = fig2_requests()
+        results = batch_estimate(requests, seed=7, cache_dir=str(blocker))
+        assert all(r.ok for r in results)
+        plain = batch_estimate(requests, seed=7)
+        assert [r.result for r in results] == [r.result for r in plain]
+
+    def test_rng_state_corruption_discards_stale_samples(self, populated):
+        # Samples without a usable post-draw RNG state cannot be extended
+        # consistently; they must be dropped and re-persisted cleanly.
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["rng_state"] = None  # state lost, samples left behind
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+        rewritten = json.load(open(entry_path(cache_dir)))
+        assert rewritten["rng_state"] is not None
+
+
+class TestWorkloadSpecAndCli:
+    def workload_document(self, **extra):
+        database, constraints = figure2_database()
+        document = {
+            "defaults": {"generator": "M_ur", "epsilon": 0.5, "delta": 0.2},
+            "instances": {"fig2": instance_to_dict(database, constraints)},
+            "requests": [
+                {"instance": "fig2", "query": "Ans(?x) :- R(?x, ?y)", "answers": "all"}
+            ],
+        }
+        document.update(extra)
+        return document
+
+    def test_spec_defaults(self):
+        spec = workload_spec_from_dict(self.workload_document())
+        assert spec.mode == "fixed" and spec.cache_dir is None
+        assert len(spec.requests) == 3
+
+    def test_spec_fields_parsed_and_cache_dir_resolved(self, tmp_path):
+        document = self.workload_document(mode="adaptive", cache_dir="cache")
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(document))
+        spec = load_workload_spec(str(path))
+        assert spec.mode == "adaptive"
+        assert spec.cache_dir == str(tmp_path / "cache")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(InstanceFormatError, match="unknown mode"):
+            workload_spec_from_dict(self.workload_document(mode="turbo"))
+        with pytest.raises(InstanceFormatError, match="path string"):
+            workload_spec_from_dict(self.workload_document(cache_dir=3))
+
+    def test_cli_cache_dir_and_adaptive_mode(self, tmp_path, capsys):
+        document = self.workload_document(mode="adaptive")
+        workload = tmp_path / "workload.json"
+        workload.write_text(json.dumps(document))
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "batch",
+                    str(workload),
+                    "--seed",
+                    "7",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert all("interval" in row for row in rows)  # adaptive rows carry CIs
+        assert len(os.listdir(cache_dir)) == 1
+        # Second run replays the cache and prints identical rows.
+        main(
+            [
+                "batch",
+                str(workload),
+                "--seed",
+                "7",
+                "--cache-dir",
+                str(cache_dir),
+                "--json",
+            ]
+        )
+        assert json.loads(capsys.readouterr().out) == rows
+
+    def test_cli_warns_on_cache_without_seed(self, tmp_path, capsys):
+        workload = tmp_path / "workload.json"
+        workload.write_text(json.dumps(self.workload_document()))
+        main(["batch", str(workload), "--cache-dir", str(tmp_path / "c")])
+        assert "no effect without --seed" in capsys.readouterr().err
+
+    def test_cli_mode_flag_overrides_workload_field(self, tmp_path, capsys):
+        workload = tmp_path / "workload.json"
+        workload.write_text(json.dumps(self.workload_document(mode="adaptive")))
+        assert main(["batch", str(workload), "--seed", "7", "--mode", "fixed", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all("interval" not in row for row in rows)  # fixed-mode rows
+
+    def test_group_seed_differs_between_generator_groups(self, tmp_path):
+        # Two groups on one database get distinct derived seeds and hence
+        # distinct cache entries.
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        requests = [
+            BatchRequest(database, constraints, generator, query, answer=("a1",))
+            for generator in (M_UR, M_US)
+        ]
+        batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        assert len(os.listdir(tmp_path)) == 2
