@@ -48,6 +48,7 @@ from .core import (
     FDSet,
     Fact,
     FunctionalDependency,
+    InstanceIndex,
     Operation,
     RelationSchema,
     RepairingSequence,
@@ -145,6 +146,7 @@ __all__ = [
     "FPRASUnavailable",
     "Fact",
     "FunctionalDependency",
+    "InstanceIndex",
     "M_UO",
     "M_UO1",
     "M_UR",

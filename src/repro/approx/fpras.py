@@ -21,7 +21,11 @@ Since the batched engine landed, each call is a thin per-call view over a
 fresh :class:`~repro.engine.session.EstimationSession`; callers estimating
 many answers over one instance should hold a session (or use
 :func:`~repro.engine.batch.batch_estimate`) to share the sampling pass —
-results are bit-for-bit identical either way under the same seed.
+results are bit-for-bit identical either way under the same seed.  The
+session runs on the interned-fact kernel
+(:class:`~repro.core.interning.InstanceIndex`): draws are id bitmasks and
+witness checks integer subset tests, with the same bit-for-bit guarantee
+against the object path (``tests/test_interning.py``).
 """
 
 from __future__ import annotations

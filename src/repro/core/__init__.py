@@ -7,6 +7,7 @@ from .conflict_graph import ConflictGraph
 from .database import Database
 from .dependencies import DependencyError, FDSet, FunctionalDependency, fd, key
 from .facts import Constant, Fact, fact
+from .interning import InstanceIndex, InterningError
 from .operations import (
     Operation,
     apply_all,
@@ -49,6 +50,8 @@ __all__ = [
     "FDSet",
     "Fact",
     "FunctionalDependency",
+    "InstanceIndex",
+    "InterningError",
     "Operation",
     "QueryError",
     "RelationSchema",

@@ -72,11 +72,16 @@ class ConflictGraph:
         return max(self.degree(f) for f in self.nodes)
 
     def edges(self) -> frozenset[frozenset[Fact]]:
-        found = set()
-        for f, neighbours in self.adjacency.items():
-            for g in neighbours:
-                found.add(frozenset((f, g)))
-        return frozenset(found)
+        """The edge set, computed once per graph (the graph is frozen)."""
+        cached = self.__dict__.get("_edges")
+        if cached is None:
+            found = set()
+            for f, neighbours in self.adjacency.items():
+                for g in neighbours:
+                    found.add(frozenset((f, g)))
+            cached = frozenset(found)
+            object.__setattr__(self, "_edges", cached)
+        return cached
 
     def edge_count(self) -> int:
         return len(self.edges())
@@ -180,16 +185,37 @@ class ConflictGraph:
         return self.count_independent_sets() - 1
 
     def maximal_independent_sets(self) -> Iterator[frozenset[Fact]]:
-        """All maximal independent sets — the classical subset repairs."""
-        for independent in self.independent_sets():
-            if self._is_maximal_independent(independent):
-                yield independent
+        """All maximal independent sets — the classical subset repairs.
 
-    def _is_maximal_independent(self, independent: frozenset[Fact]) -> bool:
-        for candidate in self.nodes - independent:
-            if not (self.neighbours(candidate) & independent):
-                return False
-        return True
+        Branch-on-a-vertex recursion with maximality as a *pruning*
+        condition: a vertex passed over by choice must later gain a chosen
+        neighbour (be dominated), so any branch holding a passed-over
+        vertex with no remaining available neighbour is cut immediately —
+        instead of enumerating all independent sets and post-filtering
+        the (potentially exponentially many) non-maximal ones.
+        """
+        ordered = sorted(self.nodes, key=str)
+
+        def recurse(
+            available: frozenset[Fact], pending: frozenset[Fact], chosen: frozenset[Fact]
+        ) -> Iterator[frozenset[Fact]]:
+            # ``pending`` = vertices excluded by choice and not yet
+            # dominated; one with no available neighbour never will be.
+            for vertex in pending:
+                if not (self.neighbours(vertex) & available):
+                    return
+            pick = next((v for v in ordered if v in available), None)
+            if pick is None:
+                yield chosen  # the prune above guarantees maximality
+                return
+            without = available - {pick}
+            yield from recurse(without, pending | {pick}, chosen)
+            neighbours = self.neighbours(pick)
+            yield from recurse(
+                without - neighbours, pending - neighbours, chosen | {pick}
+            )
+
+        yield from recurse(self.nodes, frozenset(), frozenset())
 
     def matches_under(self, other: "ConflictGraph", bijection: Mapping[Fact, Fact]) -> bool:
         """Whether ``bijection`` is a graph isomorphism from ``self`` to ``other``.

@@ -8,6 +8,7 @@ instances.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from .facts import Constant, Fact
@@ -22,7 +23,7 @@ class Database:
     paper where a database is just a set of facts.
     """
 
-    __slots__ = ("_facts", "_schema", "_hash")
+    __slots__ = ("_facts", "_schema", "_hash", "_by_relation")
 
     def __init__(self, facts: Iterable[Fact] = (), schema: Schema | None = None):
         fact_set = frozenset(facts)
@@ -33,6 +34,20 @@ class Database:
         self._facts: frozenset[Fact] = fact_set
         self._schema = schema
         self._hash = hash(fact_set)
+        self._by_relation: Mapping[str, frozenset[Fact]] | None = None
+
+    def __getstate__(self):
+        # The by-relation cache is derived state (and a mappingproxy, which
+        # cannot pickle): ship only the defining fields across process
+        # boundaries and rebuild the cache lazily on the other side.
+        return (self._facts, self._schema)
+
+    def __setstate__(self, state) -> None:
+        facts, schema = state
+        self._facts = facts
+        self._schema = schema
+        self._hash = hash(facts)
+        self._by_relation = None
 
     @property
     def facts(self) -> frozenset[Fact]:
@@ -104,11 +119,20 @@ class Database:
         return frozenset(f for f in self._facts if f.relation == relation)
 
     def by_relation(self) -> Mapping[str, frozenset[Fact]]:
-        """Facts grouped by relation name."""
-        grouped: dict[str, set[Fact]] = {}
-        for f in self._facts:
-            grouped.setdefault(f.relation, set()).add(f)
-        return {name: frozenset(fs) for name, fs in grouped.items()}
+        """Facts grouped by relation name (computed once; the class is
+        immutable, and this grouping is hit once per homomorphism join).
+
+        The returned mapping is read-only — it is the shared cache, not a
+        per-call copy.
+        """
+        if self._by_relation is None:
+            grouped: dict[str, set[Fact]] = {}
+            for f in self._facts:
+                grouped.setdefault(f.relation, set()).add(f)
+            self._by_relation = MappingProxyType(
+                {name: frozenset(fs) for name, fs in grouped.items()}
+            )
+        return self._by_relation
 
     def active_domain(self) -> frozenset[Constant]:
         """``dom(D)``: the set of constants occurring in the database."""

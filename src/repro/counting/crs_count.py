@@ -79,6 +79,40 @@ def count_crs1_for_block_sizes(sizes: tuple[int, ...] | list[int]) -> int:
     return sum(count for _, count in _crs1_distribution(relevant))
 
 
+@lru_cache(maxsize=None)
+def sequence_step_weights(
+    sizes: tuple[int, ...], singleton_only: bool = False
+) -> tuple[tuple[tuple[int, str], ...], tuple[int, ...], int]:
+    """SampleSeq's per-step category weights for the live block-size state.
+
+    ``sizes`` are the sizes of the *active* (≥ 2) blocks in iteration order.
+    Returns ``(categories, weights, total)`` where each category is
+    ``(position, kind)`` — ``position`` indexing into ``sizes``, ``kind``
+    one of ``"single"`` / ``"pair"`` — and ``weights[i]`` is the aggregated
+    Lemma 6.2 transition weight of that category (``m · |CRS(after)|`` for
+    a single removal, ``C(m, 2) · |CRS(after)|`` for a pair).
+
+    The table is memoized on the *ordered* tuple of live id-block sizes
+    (process-wide, like the CRS distribution caches it sits on): every
+    draw whose remaining blocks have the same ordered sizes reuses it, so
+    the sampler recomputes counts once per size state instead of once per
+    step of every draw.  Both the object path and the interned fast path of
+    :class:`~repro.sampling.sequence_sampler.SequenceSampler` read this one
+    table, which is what keeps their RNG consumption bit-for-bit aligned.
+    """
+    count = count_crs1_for_block_sizes if singleton_only else count_crs_for_block_sizes
+    categories: list[tuple[int, str]] = []
+    weights: list[int] = []
+    for position, m in enumerate(sizes):
+        rest = sizes[:position] + sizes[position + 1 :]
+        categories.append((position, "single"))
+        weights.append(m * count(tuple(sorted(rest + (m - 1,)))))
+        if not singleton_only:
+            categories.append((position, "pair"))
+            weights.append((m * (m - 1) // 2) * count(tuple(sorted(rest + (m - 2,)))))
+    return tuple(categories), tuple(weights), sum(weights)
+
+
 def count_crs(database: Database, constraints: FDSet) -> int:
     """``|CRS(D, Σ)|`` for a set of primary keys, in polynomial time."""
     decomposition = block_decomposition(database, constraints)

@@ -95,6 +95,7 @@ def batch_estimate(
     workers: int | None = None,
     mode: str = "fixed",
     cache_dir: str | None = None,
+    use_kernel: bool = True,
 ) -> list[BatchResult]:
     """Estimate every request, sharing one sample pool per instance group.
 
@@ -106,7 +107,10 @@ def batch_estimate(
 
     ``mode="adaptive"`` switches every group to the early-stopping
     scheduler; ``cache_dir`` persists per-group state across processes and
-    runs (see the module docstring).
+    runs (see the module docstring).  ``use_kernel=False`` forces the
+    object-path samplers instead of the interned id kernel — results are
+    bit-for-bit identical either way (the parity tests assert it); the
+    switch exists for benchmarking and as a safety valve.
     """
     if mode not in ("fixed", "adaptive"):
         raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
@@ -115,7 +119,7 @@ def batch_estimate(
     for position, request in indexed:
         groups.setdefault(request.group_key(), []).append((position, request))
     payloads = [
-        (members, _group_seed(seed, group_position), mode, cache_dir)
+        (members, _group_seed(seed, group_position), mode, cache_dir, use_kernel)
         for group_position, members in enumerate(groups.values())
     ]
     if workers and workers > 1 and len(payloads) > 1:
@@ -145,12 +149,14 @@ def _pool_context():
 
 
 def _estimate_group(
-    payload: tuple[Sequence[tuple[int, BatchRequest]], int | None, str, str | None],
+    payload: tuple[
+        Sequence[tuple[int, BatchRequest]], int | None, str, str | None, bool
+    ],
 ) -> list[tuple[int, BatchResult]]:
     """Run one group's requests against a shared session + pool (picklable)."""
     from ..approx.fpras import FPRASUnavailable
 
-    members, group_seed, mode, cache_dir = payload
+    members, group_seed, mode, cache_dir, use_kernel = payload
     first = members[0][1]
     cache = None
     if cache_dir is not None and group_seed is not None:
@@ -158,7 +164,11 @@ def _estimate_group(
             first.database, first.constraints, first.generator.name, group_seed
         )
     session = EstimationSession(
-        first.database, first.constraints, first.generator, cache=cache
+        first.database,
+        first.constraints,
+        first.generator,
+        cache=cache,
+        use_kernel=use_kernel,
     )
     try:
         if cache is not None:

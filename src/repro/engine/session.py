@@ -14,7 +14,14 @@ share the same database.  :class:`EstimationSession` binds one
   homomorphism images ``h(Q)`` with ``h(x̄) = c̄`` once, over ``D``.  A
   sampled repair ``S ⊆ D`` satisfies ``c̄ ∈ Q(S)`` iff it contains one of
   the inclusion-minimal images, so per-sample evaluation drops from a
-  fresh backtracking join to a few frozenset containment tests.
+  fresh backtracking join to a few subset tests.
+* **the interned kernel** — the session interns ``D`` once into an
+  :class:`~repro.core.interning.InstanceIndex` (dense fact ids), samplers
+  draw survivor *id bitmasks* without constructing ``Operation`` or
+  ``Database`` objects, and the minimal witness images become bitmasks too
+  — "repair entails answer" is the integer subset test
+  ``w & s == w``.  ``use_kernel=False`` falls back to object-path draws
+  (identical results, slower; the kernel is a pure speedup).
 * **shared sample pools** — :class:`SamplePool` materializes one seeded
   stream of sampled repairs lazily; every request evaluates against the
   prefix it needs, so ``N`` requests cost one sampling pass plus ``N``
@@ -72,6 +79,7 @@ from ..core.blocks import BlockDecomposition, block_decomposition
 from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.facts import Fact
+from ..core.interning import InstanceIndex
 from ..core.queries import ConjunctiveQuery, QueryError, _bind_answer
 from ..exact.possibility import image_is_consistent
 from ..sampling.operations_sampler import UniformOperationsSampler
@@ -112,34 +120,83 @@ class SamplePool:
     past the preloaded prefix (the caller must hand it an RNG restored to
     the state recorded after the last persisted draw, so the stream
     continues bit-for-bit).
+
+    **Interned pools.**  Pools a session builds carry its
+    :class:`~repro.core.interning.InstanceIndex`: ``draw`` returns id
+    *bitmasks* (one ``int`` per sample, bit ``i`` = fact ``i`` survives),
+    :meth:`mask_at` is the hot-path accessor, and :meth:`sample_at`
+    reconstructs fact-set objects on demand — so holding ``n`` samples
+    costs ``n`` ints, not ``n`` databases.  A pool constructed without an
+    index (``SamplePool(draw)``) keeps the historical contract: ``draw``
+    returns fact sets and :meth:`sample_at` hands them back verbatim.
     """
 
     def __init__(
         self,
-        draw: Callable[[], frozenset[Fact]],
-        preloaded: Iterable[frozenset[Fact]] | None = None,
+        draw: Callable[[], frozenset[Fact] | int],
+        preloaded: Iterable[frozenset[Fact] | int] | None = None,
+        index: InstanceIndex | None = None,
     ):
         self._draw = draw
-        self._samples: list[frozenset[Fact]] = list(preloaded or ())
+        self._index = index
+        self._samples: list[frozenset[Fact] | int] = list(preloaded or ())
+
+    @property
+    def interned(self) -> bool:
+        """Whether samples are stored as id bitmasks over an instance index."""
+        return self._index is not None
+
+    @property
+    def index(self) -> InstanceIndex | None:
+        """The interning the masks refer to (``None`` for plain pools)."""
+        return self._index
 
     def __len__(self) -> int:
         """Number of samples materialized so far (not a limit)."""
         return len(self._samples)
 
-    def sample_at(self, index: int) -> frozenset[Fact]:
-        """The ``index``-th sample of the stream, drawing as needed."""
+    def _materialize(self, index: int) -> None:
         while len(self._samples) <= index:
             self._samples.append(self._draw())
+
+    def mask_at(self, index: int) -> int:
+        """The ``index``-th sample as an id bitmask (interned pools only)."""
+        if self._index is None:
+            raise TypeError("mask_at() requires a pool built over an InstanceIndex")
+        self._materialize(index)
         return self._samples[index]
 
-    def prefix(self, length: int) -> Sequence[frozenset[Fact]]:
-        """The first ``length`` samples (materializing them if necessary)."""
+    def mask_prefix(self, length: int) -> Sequence[int]:
+        """The first ``length`` samples as bitmasks (interned pools only).
+
+        The bulk accessor for fixed-length evaluation loops: one
+        materialization check for the whole prefix instead of one per
+        sample.
+        """
+        if self._index is None:
+            raise TypeError("mask_prefix() requires a pool built over an InstanceIndex")
         if length > 0:
-            self.sample_at(length - 1)
+            self._materialize(length - 1)
         return self._samples[:length]
 
-    def materialized_samples(self) -> Sequence[frozenset[Fact]]:
-        """Every sample drawn so far (used by the cache store to persist)."""
+    def sample_at(self, index: int) -> frozenset[Fact]:
+        """The ``index``-th sample of the stream as a fact set, drawing as
+        needed (on interned pools the facts are reconstructed on demand)."""
+        self._materialize(index)
+        sample = self._samples[index]
+        if self._index is not None:
+            return self._index.facts_of_mask(sample)
+        return sample
+
+    def prefix(self, length: int) -> Sequence[frozenset[Fact]]:
+        """The first ``length`` samples as fact sets (materializing them)."""
+        if length > 0:
+            self._materialize(length - 1)
+        return [self.sample_at(i) for i in range(length)]
+
+    def materialized_samples(self) -> Sequence[frozenset[Fact] | int]:
+        """Every sample drawn so far, in storage form (masks on interned
+        pools, fact sets otherwise) — used by the cache store to persist."""
         return self._samples
 
 
@@ -156,15 +213,23 @@ class EstimationSession:
         constraints: FDSet,
         generator: MarkovChainGenerator,
         cache: "CacheEntry | None" = None,
+        use_kernel: bool = True,
     ):
         self.database = database
         self.constraints = constraints
         self.generator = generator
         self.cache = cache
+        #: ``False`` forces object-path draws (Operation/Database per
+        #: sample).  Results are bit-for-bit identical either way — the
+        #: interned kernel is a pure speedup, and the flag exists so the
+        #: parity tests and benches can prove exactly that.
+        self.use_kernel = use_kernel
         self._decomposition: BlockDecomposition | None = None
+        self._index: InstanceIndex | None = None
         self._witnesses: dict[
             tuple[ConjunctiveQuery, tuple], tuple[frozenset[Fact], ...]
         ] = {}
+        self._witness_masks: dict[tuple[ConjunctiveQuery, tuple], tuple[int, ...]] = {}
         self._possible: dict[tuple[ConjunctiveQuery, tuple], bool] = {}
         self._bounds: dict[ConjunctiveQuery, float] = {}
 
@@ -186,6 +251,22 @@ class EstimationSession:
                 if self.cache is not None:
                     self.cache.set_decomposition(self._decomposition)
         return self._decomposition
+
+    def index(self) -> InstanceIndex:
+        """The session's fact interning, built once per ``(D, Σ)``.
+
+        For primary keys the index also carries the conflicting blocks as
+        id-tuples (sharing :meth:`decomposition`); for the arbitrary-FD
+        generators it interns facts and masks only.
+        """
+        if self._index is None:
+            if self.constraints.is_primary_keys():
+                self._index = InstanceIndex.of(
+                    self.database, decomposition=self.decomposition()
+                )
+            else:
+                self._index = InstanceIndex.of(self.database)
+        return self._index
 
     def ensure_supported(self) -> None:
         """Raise :class:`FPRASUnavailable` outside the paper's positive results.
@@ -231,6 +312,7 @@ class EstimationSession:
                 singleton,
                 rng,
                 decomposition=self.decomposition(),
+                index=self.index(),
             )
         if isinstance(self.generator, UniformSequences):
             return SequenceSampler(
@@ -239,19 +321,42 @@ class EstimationSession:
                 singleton,
                 rng,
                 decomposition=self.decomposition(),
+                index=self.index(),
             )
         return UniformOperationsSampler(self.database, self.constraints, singleton, rng)
 
     def _draw_facts(self, rng: random.Random | None) -> Callable[[], frozenset[Fact]]:
-        """A thunk drawing one sampled repair as a fact set."""
+        """A thunk drawing one sampled repair as a fact set (object path)."""
         sampler = self.sampler(rng)
         if isinstance(sampler, SequenceSampler):
             return lambda: sampler.sample_result().facts
         return lambda: sampler.sample().facts
 
+    def _draw_mask(self, rng: random.Random | None) -> Callable[[], int]:
+        """A thunk drawing one sampled repair as an id bitmask.
+
+        With the kernel on, the block-structured samplers draw masks
+        natively (no ``Operation``/``Database`` objects per draw); the
+        ``M_uo`` walk — and every sampler when ``use_kernel=False`` — draws
+        objects and interns the result, which consumes the RNG identically
+        and therefore yields the *same* stream, just slower.
+        """
+        sampler = self.sampler(rng)
+        if self.use_kernel and isinstance(sampler, (RepairSampler, SequenceSampler)):
+            return sampler.sample_mask
+        index = self.index()
+        if isinstance(sampler, SequenceSampler):
+            return lambda: index.mask_of(sampler.sample_result().facts)
+        return lambda: index.mask_of(sampler.sample().facts)
+
     def pool(self, rng: random.Random | None = None) -> SamplePool:
-        """One shared, lazily grown sample stream for this session."""
-        return SamplePool(self._draw_facts(resolve_rng(rng)))
+        """One shared, lazily grown sample stream for this session.
+
+        The pool stores compact id bitmasks (one ``int`` per sample) over
+        the session's :meth:`index`; fact-set views are reconstructed on
+        demand by :meth:`SamplePool.sample_at`.
+        """
+        return SamplePool(self._draw_mask(resolve_rng(rng)), index=self.index())
 
     def cached_pool(self, seed: int | None) -> SamplePool:
         """A pool warm-started from the session's cache entry (if possible).
@@ -265,7 +370,7 @@ class EstimationSession:
         rng = random.Random(seed) if seed is not None else None
         if self.cache is None or rng is None:
             return self.pool(rng)
-        preloaded = self.cache.preload_samples()
+        preloaded = self.cache.preload_sample_masks()
         state = self.cache.rng_state() if preloaded else None
         if state is not None:
             try:
@@ -280,7 +385,9 @@ class EstimationSession:
             # extended consistently: drop them so the entry is rewritten.
             self.cache.discard_samples()
             preloaded = []
-        shared = SamplePool(self._draw_facts(rng), preloaded=preloaded)
+        shared = SamplePool(
+            self._draw_mask(rng), preloaded=preloaded, index=self.index()
+        )
         self.cache.attach_pool(shared, rng)
         return shared
 
@@ -362,6 +469,25 @@ class EstimationSession:
         minimal.sort(key=lambda image: (len(image), sorted(map(str, image))))
         return tuple(minimal)
 
+    def witness_masks(
+        self, query: ConjunctiveQuery, answer: tuple = ()
+    ) -> tuple[int, ...]:
+        """The :meth:`witnesses` images as id bitmasks over :meth:`index`.
+
+        A sample mask ``s`` entails the answer iff ``w & s == w`` for some
+        witness mask ``w`` — the integer form of the subset test, cached per
+        ``(query, answer)`` like the object witnesses themselves.
+        """
+        key = (query, answer)
+        cached = self._witness_masks.get(key)
+        if cached is None:
+            index = self.index()
+            cached = tuple(
+                index.mask_of(witness) for witness in self.witnesses(query, answer)
+            )
+            self._witness_masks[key] = cached
+        return cached
+
     def is_possible(self, query: ConjunctiveQuery, answer: tuple = ()) -> bool:
         """Cached polynomial zero-test (see :mod:`repro.exact.possibility`).
 
@@ -390,6 +516,62 @@ class EstimationSession:
     ) -> bool:
         return any(witness <= facts for witness in witnesses)
 
+    @staticmethod
+    def _entails_mask(witness_masks: tuple[int, ...], sample_mask: int) -> bool:
+        return any(witness & sample_mask == witness for witness in witness_masks)
+
+    def _witness_eval(
+        self, query: ConjunctiveQuery, answer: tuple
+    ) -> tuple[int, tuple[int, ...], bool]:
+        """The witness masks classified for the hot loop.
+
+        Returns ``(singles, complexes, always)``: the OR-union of all
+        single-fact witness masks (a sample hits one iff ``mask & singles``
+        is non-zero — one AND for the whole group, the overwhelmingly
+        common case for per-fact survival workloads), the remaining
+        multi-fact witness masks (each needing its own subset test), and
+        whether an *empty* witness exists (the query is entailed by every
+        sample).
+        """
+        singles = 0
+        complexes = []
+        always = False
+        for witness in self.witness_masks(query, answer):
+            if witness == 0:
+                always = True
+            elif witness & (witness - 1) == 0:
+                singles |= witness
+            else:
+                complexes.append(witness)
+        return singles, tuple(complexes), always
+
+    def _pool_hit(
+        self, pool: SamplePool, query: ConjunctiveQuery, answer: tuple
+    ) -> Callable[[int], bool]:
+        """Position → "sample entails answer", picked once per request.
+
+        Interned pools (everything a session builds) evaluate with integer
+        subset tests on masks; a caller-constructed plain pool keeps the
+        original fact-set path.
+        """
+        if pool.interned:
+            singles, complexes, always = self._witness_eval(query, answer)
+            mask_at = pool.mask_at
+            if always:
+                return lambda position: True
+            if not complexes:
+                return lambda position: bool(mask_at(position) & singles)
+
+            def hit(position: int) -> bool:
+                mask = mask_at(position)
+                return bool(mask & singles) or self._entails_mask(complexes, mask)
+
+            return hit
+        witnesses = self.witnesses(query, answer)
+        return lambda position: self._entails_sample(
+            witnesses, pool.sample_at(position)
+        )
+
     # -- estimation ------------------------------------------------------------------
 
     def estimate(
@@ -411,13 +593,13 @@ class EstimationSession:
         make it cheaper.
         """
         rng = resolve_rng(rng)
-        draw_facts = self._draw_facts(rng)  # raises FPRASUnavailable first
+        draw_mask = self._draw_mask(rng)  # raises FPRASUnavailable first
         if not self.is_possible(query, answer):
             return self._certified_zero(epsilon, delta)
-        witnesses = self.witnesses(query, answer)
+        masks = self.witness_masks(query, answer)
 
         def draw() -> float:
-            return 1.0 if self._entails_sample(witnesses, draw_facts()) else 0.0
+            return 1.0 if self._entails_mask(masks, draw_mask()) else 0.0
 
         return self._run(draw, query, epsilon, delta, method, p_lower, max_samples)
 
@@ -443,14 +625,14 @@ class EstimationSession:
         self.ensure_supported()
         if not self.is_possible(query, answer):
             return self._certified_zero(epsilon, delta)
-        witnesses = self.witnesses(query, answer)
+        hit = self._pool_hit(pool, query, answer)
         position = 0
 
         def draw() -> float:
             nonlocal position
-            facts = pool.sample_at(position)
+            entailed = hit(position)
             position += 1
-            return 1.0 if self._entails_sample(witnesses, facts) else 0.0
+            return 1.0 if entailed else 0.0
 
         return self._run(draw, query, epsilon, delta, method, p_lower, max_samples)
 
@@ -570,23 +752,23 @@ class EstimationSession:
         """
         self.ensure_supported()
         results: list[AdaptiveResult | None] = [None] * len(specs)
-        pending: list[list] = []  # [index, witnesses, estimator, position]
+        pending: list[list] = []  # [index, hit, estimator, position]
         for index, (query, answer, epsilon, delta, max_samples) in enumerate(specs):
             if not self.is_possible(query, answer):
                 results[index] = self._certified_zero_adaptive(epsilon, delta)
                 continue
             estimator = self.adaptive_estimator(query, epsilon, delta, max_samples)
-            pending.append([index, self.witnesses(query, answer), estimator, 0])
+            pending.append([index, self._pool_hit(pool, query, answer), estimator, 0])
         target = initial_round
         while pending:
             goal = min(target, max(state[2].sample_cap for state in pending))
             still_pending = []
             for state in pending:
-                index, witnesses, estimator, position = state
+                index, hit, estimator, position = state
                 while position < goal and not estimator.decided:
-                    hit = self._entails_sample(witnesses, pool.sample_at(position))
+                    entailed = hit(position)
                     position += 1
-                    estimator.offer(1.0 if hit else 0.0)
+                    estimator.offer(1.0 if entailed else 0.0)
                 state[3] = position
                 if estimator.decided:
                     results[index] = estimator.result()
@@ -620,10 +802,11 @@ class EstimationSession:
     ) -> EstimateResult:
         """Per-call twin of :func:`~repro.approx.fpras.fixed_budget_estimate`."""
         rng = resolve_rng(rng)
-        draw_facts = self._draw_facts(rng)
-        witnesses = self._budget_witnesses(query, answer)
+        draw_mask = self._draw_mask(rng)
+        self._budget_witnesses(query, answer)
+        masks = self.witness_masks(query, answer)
         hits = sum(
-            1 for _ in range(samples) if self._entails_sample(witnesses, draw_facts())
+            1 for _ in range(samples) if self._entails_mask(masks, draw_mask())
         )
         return self._budget_result(hits, samples)
 
@@ -637,12 +820,23 @@ class EstimationSession:
     ) -> EstimateResult:
         """Fixed-budget estimate over a shared pool's first ``samples`` draws."""
         self.ensure_supported()
-        witnesses = self._budget_witnesses(query, answer)
-        hits = sum(
-            1
-            for index in range(samples)
-            if self._entails_sample(witnesses, pool.sample_at(index))
-        )
+        self._budget_witnesses(query, answer)
+        if pool.interned:
+            singles, complexes, always = self._witness_eval(query, answer)
+            prefix = pool.mask_prefix(samples)
+            if always:
+                hits = samples
+            elif not complexes:
+                hits = sum(1 for mask in prefix if mask & singles)
+            else:
+                hits = sum(
+                    1
+                    for mask in prefix
+                    if mask & singles or self._entails_mask(complexes, mask)
+                )
+        else:
+            hit = self._pool_hit(pool, query, answer)
+            hits = sum(1 for index in range(samples) if hit(index))
         return self._budget_result(hits, samples)
 
     def _budget_witnesses(

@@ -22,11 +22,12 @@ cover everything any persisted field could depend on.)  Each entry holds:
 * ``bounds`` — positivity lower bounds, keyed by the query text;
 * ``samples`` + ``rng_state`` — the materialized prefix of the shared
   :class:`~repro.engine.session.SamplePool` (each sample a sorted list of
-  indices into the database's canonical fact order — compact, and decoding
-  is a list lookup instead of fact reconstruction) and the
-  ``random.Random`` state *after* the last persisted draw, so a warm pool
-  extends the stream bit-for-bit where the cold run left off.  Replayed
-  estimates are therefore identical to cold-run estimates.
+  ids into the database's canonical fact order — the same dense ids the
+  :class:`~repro.core.interning.InstanceIndex` kernel interns, so a row
+  decodes to an id bitmask with pure integer work and never reconstructs a
+  fact) and the ``random.Random`` state *after* the last persisted draw,
+  so a warm pool extends the stream bit-for-bit where the cold run left
+  off.  Replayed estimates are therefore identical to cold-run estimates.
 
 Failure policy: the cache is an accelerator, never an authority.  Any
 read problem — missing file, truncated/corrupt JSON, version mismatch,
@@ -48,13 +49,18 @@ from ..core.blocks import Block, BlockDecomposition
 from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.facts import Fact
+from ..core.interning import mask_ids
 from ..core.queries import ConjunctiveQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session imports store)
     from .session import SamplePool
 
 #: Bump when the on-disk schema changes; old entries are then recomputed.
-STORE_VERSION = 1
+#: v2: sample rows are the interned kernel's id arrays (ids into the
+#: canonical fact order — byte-compatible with v1's index rows, but the
+#: decode contract is now "ids of the session's InstanceIndex", and warm
+#: pools preload them as bitmasks without reconstructing facts).
+STORE_VERSION = 2
 
 
 def _freeze(value: Any) -> Any:
@@ -293,34 +299,50 @@ class CacheEntry:
             self._sorted_facts = self._database.sorted_facts()
         return self._sorted_facts
 
-    def preload_samples(self) -> list[frozenset[Fact]]:
-        """The persisted sample prefix (empty on any decode problem).
+    def preload_sample_masks(self) -> list[int]:
+        """The persisted sample prefix as id bitmasks (empty on any decode
+        problem).
 
-        Samples are index lists into the database's canonical fact order —
-        an out-of-range or non-integer index marks the entry corrupt and
-        the whole batch is **discarded** (the RNG state would be
+        Sample rows are id lists into the database's canonical fact order
+        (= the ids of the session's
+        :class:`~repro.core.interning.InstanceIndex`), so decoding is pure
+        integer work — set one bit per id, no fact reconstruction.  An
+        out-of-range, duplicate or non-integer id marks the entry corrupt
+        and the whole batch is **discarded** (the RNG state would be
         meaningless for a different stream), so the next :meth:`save`
         rewrites a clean entry instead of preserving the damage.
         """
-        order = self._fact_order()
-        decoded: list[frozenset[Fact]] = []
+        size = len(self._fact_order())
+        decoded: list[int] = []
         try:
             for row in self._document["samples"]:
-                if any(
-                    # bool is an int subclass: true/false would silently
-                    # decode as fact 1/0, altering the replayed stream.
-                    isinstance(index, bool) or not isinstance(index, int) or index < 0
-                    for index in row
-                ):
-                    raise CacheFormatError("malformed sample index row")
-                sample = frozenset(order[index] for index in row)
-                if len(sample) != len(row):
-                    raise CacheFormatError("duplicate sample indices")
-                decoded.append(sample)
-        except (CacheFormatError, IndexError, TypeError, ValueError):
+                mask = 0
+                for identifier in row:
+                    if (
+                        # bool is an int subclass: true/false would silently
+                        # decode as fact 1/0, altering the replayed stream.
+                        isinstance(identifier, bool)
+                        or not isinstance(identifier, int)
+                        or not 0 <= identifier < size
+                    ):
+                        raise CacheFormatError("malformed sample id row")
+                    bit = 1 << identifier
+                    if mask & bit:
+                        raise CacheFormatError("duplicate sample ids")
+                    mask |= bit
+                decoded.append(mask)
+        except (CacheFormatError, TypeError):
             self.discard_samples()
             return []
         return decoded
+
+    def preload_samples(self) -> list[frozenset[Fact]]:
+        """The persisted sample prefix as fact sets (compatibility view)."""
+        order = self._fact_order()
+        return [
+            frozenset(order[identifier] for identifier in mask_ids(mask))
+            for mask in self.preload_sample_masks()
+        ]
 
     def discard_samples(self) -> None:
         """Drop the persisted sample batch (and its RNG state) as corrupt."""
@@ -348,10 +370,16 @@ class CacheEntry:
         materialized = self._pool.materialized_samples()
         if len(materialized) <= len(self._document["samples"]):
             return
-        index_of = {fact: index for index, fact in enumerate(self._fact_order())}
-        self._document["samples"] = [
-            _encode_sample(s, index_of) for s in materialized
-        ]
+        if getattr(self._pool, "interned", False):
+            # Interned pools hold id bitmasks; the sorted set-bit ids *are*
+            # the on-disk row (the index order equals the canonical fact
+            # order), so encoding never touches a Fact.
+            self._document["samples"] = [mask_ids(mask) for mask in materialized]
+        else:
+            index_of = {fact: index for index, fact in enumerate(self._fact_order())}
+            self._document["samples"] = [
+                _encode_sample(s, index_of) for s in materialized
+            ]
         state = self._rng.getstate()
         self._document["rng_state"] = [state[0], list(state[1]), state[2]]
         self._dirty = True

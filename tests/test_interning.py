@@ -1,0 +1,289 @@
+"""Interned-fact kernel: id/mask structure and bit-for-bit parity.
+
+The kernel's contract is that it is *purely* a speedup: id-based draws
+consume the RNG exactly like the object path (so seeded streams are
+interchangeable), mask evaluation agrees with frozenset evaluation, and
+``batch_estimate`` produces identical results with the kernel on and off —
+including through a warm :class:`~repro.engine.store.CacheStore`.  The
+parity properties are hypothesis-driven over random primary-key instances.
+"""
+
+import random
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chains.generators import M_UO, M_UO1, M_UR, M_UR1, M_US, M_US1
+from repro.core import Database, FDSet, Schema, fact, fd
+from repro.core.blocks import block_decomposition
+from repro.core.interning import InstanceIndex, InterningError
+from repro.engine import BatchRequest, EstimationSession, batch_estimate
+from repro.core.queries import atom, boolean_cq, cq, var
+from repro.sampling.repair_sampler import RepairSampler
+from repro.sampling.sequence_sampler import SequenceSampler
+from repro.workloads import figure2_database
+
+x, y = var("x"), var("y")
+
+EPSILON, DELTA = 0.5, 0.2
+
+#: The four block-structured generators with an interned fast path.
+BLOCK_GENERATORS = [M_UR, M_UR1, M_US, M_US1]
+
+
+def pk_instance(pairs) -> tuple[Database, FDSet]:
+    """A primary-key instance over R(A, B) with key A → B.
+
+    Facts sharing an ``A`` value form one block, so the drawn ``pairs``
+    directly control the block-size multiset.
+    """
+    schema = Schema.from_spec({"R": ["A", "B"]})
+    database = Database(
+        [fact("R", f"a{a}", f"b{b}") for a, b in pairs], schema=schema
+    )
+    return database, FDSet(schema, [fd("R", "A", "B")])
+
+
+instances = st.builds(
+    pk_instance,
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 4)),
+        min_size=0,
+        max_size=12,
+        unique=True,
+    ),
+)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestInstanceIndex:
+    def test_ids_follow_canonical_sorted_order(self):
+        database, constraints = figure2_database()
+        index = InstanceIndex.of(database, constraints)
+        assert list(index.facts) == database.sorted_facts()
+        assert [index.id_of[f] for f in database.sorted_facts()] == list(
+            range(len(database))
+        )
+        assert index.full_mask == (1 << len(database)) - 1
+
+    def test_mask_round_trip(self):
+        database, constraints = figure2_database()
+        index = InstanceIndex.of(database, constraints)
+        subset = frozenset(database.sorted_facts()[::2])
+        mask = index.mask_of(subset)
+        assert index.facts_of_mask(mask) == subset
+        assert index.mask_of_ids(index.ids_of_mask(mask)) == mask
+        assert index.sorted_ids_of_mask(mask) == sorted(
+            index.id_of[f] for f in subset
+        )
+
+    def test_foreign_fact_rejected(self):
+        database, constraints = figure2_database()
+        index = InstanceIndex.of(database, constraints)
+        with pytest.raises(InterningError):
+            index.id(fact("R", "nope", "nope"))
+        with pytest.raises(InterningError):
+            index.mask_of([fact("R", "nope", "nope")])
+
+    def test_blocks_match_decomposition_order(self):
+        database, constraints = figure2_database()
+        decomposition = block_decomposition(database, constraints)
+        index = InstanceIndex.of(database, decomposition=decomposition)
+        expected = [
+            [index.id_of[f] for f in block.sorted_facts()]
+            for block in decomposition.conflicting_blocks()
+        ]
+        assert [list(ids) for ids in index.conflicting_block_ids()] == expected
+        assert index.facts_of_mask(index.always_kept_mask()) == (
+            decomposition.singleton_facts()
+        )
+
+    def test_relation_ids_partition_the_ids(self):
+        database, constraints = figure2_database()
+        index = InstanceIndex.of(database, constraints)
+        everything = [
+            identifier
+            for name in index.relation_names()
+            for identifier in index.relation_ids(name)
+        ]
+        assert sorted(everything) == list(range(len(database)))
+
+    def test_no_constraints_means_no_blocks(self):
+        database, _ = figure2_database()
+        index = InstanceIndex.of(database)
+        assert index.conflicting_block_ids() == ()
+        assert index.always_kept_mask() == 0
+        assert len(index) == len(database)
+
+
+class TestSamplerDrawParity:
+    """Property (a): interned draws equal object-path draws bit-for-bit."""
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_repair_sampler_masks_match_object_draws(self, instance, seed):
+        database, constraints = instance
+        for singleton in (False, True):
+            objects = RepairSampler(
+                database, constraints, singleton, random.Random(seed)
+            )
+            interned = RepairSampler(
+                database, constraints, singleton, random.Random(seed)
+            )
+            index = interned.index
+            for _ in range(8):
+                assert interned.sample_mask() == index.mask_of(
+                    objects.sample().facts
+                )
+            # Same number of RNG consumptions with identical arguments:
+            # the streams stay aligned indefinitely.
+            assert objects.rng.getstate() == interned.rng.getstate()
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_sequence_sampler_masks_match_object_draws(self, instance, seed):
+        database, constraints = instance
+        for singleton in (False, True):
+            objects = SequenceSampler(
+                database, constraints, singleton, random.Random(seed)
+            )
+            interned = SequenceSampler(
+                database, constraints, singleton, random.Random(seed)
+            )
+            index = interned.index
+            for _ in range(5):
+                assert interned.sample_mask() == index.mask_of(
+                    objects.sample_result().facts
+                )
+            assert objects.rng.getstate() == interned.rng.getstate()
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_sample_ids_name_the_same_facts(self, instance, seed):
+        database, constraints = instance
+        sampler = RepairSampler(database, constraints, rng=random.Random(seed))
+        twin = RepairSampler(database, constraints, rng=random.Random(seed))
+        ids = sampler.sample_ids()
+        assert frozenset(
+            sampler.index.fact_of(identifier) for identifier in ids
+        ) == twin.sample().facts
+
+    @pytest.mark.parametrize("generator", BLOCK_GENERATORS, ids=lambda g: g.name)
+    def test_session_pool_masks_denote_object_samples(self, generator):
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, generator)
+        pool = session.pool(random.Random(11))
+        sampler = session.sampler(random.Random(11))
+        for position in range(20):
+            drawn = (
+                sampler.sample_result()
+                if isinstance(sampler, SequenceSampler)
+                else sampler.sample()
+            )
+            assert pool.sample_at(position) == drawn.facts
+            assert pool.mask_at(position) == session.index().mask_of(drawn.facts)
+
+
+class TestKernelOnOffParity:
+    """Property (b): identical results with the kernel on and off."""
+
+    def batch_requests(self, database, constraints, generator=M_UR):
+        query = cq((x,), (atom("R", x, y),))
+        return [
+            BatchRequest(
+                database,
+                constraints,
+                generator,
+                query,
+                answer=candidate,
+                epsilon=EPSILON,
+                delta=DELTA,
+            )
+            for candidate in sorted(query.answers(database), key=repr)
+        ]
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_batch_estimate_matches_with_kernel_on_and_off(self, instance, seed):
+        database, constraints = instance
+        requests = self.batch_requests(database, constraints)
+        on = batch_estimate(requests, seed=seed, use_kernel=True)
+        off = batch_estimate(requests, seed=seed, use_kernel=False)
+        assert [r.result for r in on] == [r.result for r in off]
+        assert [r.error for r in on] == [r.error for r in off]
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_kernel_parity_through_a_warm_cache_store(self, instance, seed):
+        database, constraints = instance
+        requests = self.batch_requests(database, constraints)
+        plain = batch_estimate(requests, seed=seed)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            cold_on = batch_estimate(
+                requests, seed=seed, cache_dir=cache_dir, use_kernel=True
+            )
+            warm_off = batch_estimate(
+                requests, seed=seed, cache_dir=cache_dir, use_kernel=False
+            )
+            warm_on = batch_estimate(
+                requests, seed=seed, cache_dir=cache_dir, use_kernel=True
+            )
+        for results in (cold_on, warm_off, warm_on):
+            assert [r.result for r in results] == [r.result for r in plain]
+
+    @pytest.mark.parametrize(
+        "generator", [M_UR, M_UR1, M_US, M_US1, M_UO, M_UO1], ids=lambda g: g.name
+    )
+    def test_session_estimates_match_with_kernel_on_and_off(self, generator):
+        database, constraints = figure2_database()
+        query = boolean_cq(atom("R", "a1", "b1"))
+        on = EstimationSession(database, constraints, generator, use_kernel=True)
+        off = EstimationSession(database, constraints, generator, use_kernel=False)
+        assert on.estimate(
+            query, epsilon=EPSILON, delta=DELTA, rng=random.Random(3)
+        ) == off.estimate(query, epsilon=EPSILON, delta=DELTA, rng=random.Random(3))
+        budget_on = on.fixed_budget(query, samples=200, rng=random.Random(5))
+        budget_off = off.fixed_budget(query, samples=200, rng=random.Random(5))
+        # ε/δ are NaN on fixed-budget results (and NaN != NaN): compare the
+        # meaningful fields.
+        assert (
+            budget_on.estimate,
+            budget_on.samples_used,
+            budget_on.method,
+            budget_on.certified_zero,
+        ) == (
+            budget_off.estimate,
+            budget_off.samples_used,
+            budget_off.method,
+            budget_off.certified_zero,
+        )
+
+    def test_adaptive_estimates_match_with_kernel_on_and_off(self):
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        requests = [(query, candidate) for candidate in sorted(query.answers(database), key=repr)]
+        on = EstimationSession(database, constraints, M_UR, use_kernel=True)
+        off = EstimationSession(database, constraints, M_UR, use_kernel=False)
+        assert on.estimate_many(
+            requests, epsilon=EPSILON, delta=DELTA, rng=random.Random(7), mode="adaptive"
+        ) == off.estimate_many(
+            requests, epsilon=EPSILON, delta=DELTA, rng=random.Random(7), mode="adaptive"
+        )
+
+    def test_witness_masks_agree_with_witness_sets(self):
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        session = EstimationSession(database, constraints, M_UR)
+        index = session.index()
+        for candidate in sorted(query.answers(database), key=repr):
+            masks = session.witness_masks(query, candidate)
+            witnesses = session.witnesses(query, candidate)
+            assert masks == tuple(index.mask_of(w) for w in witnesses)
+            sampler = session.sampler(random.Random(13))
+            for _ in range(20):
+                repair = sampler.sample()
+                assert EstimationSession._entails_mask(
+                    masks, index.mask_of(repair.facts)
+                ) == query.entails(repair, candidate)
