@@ -36,6 +36,7 @@ from .montecarlo import (
     bernoulli_stream,
     chernoff_sample_size,
     empirical_mean,
+    fixed_estimate_from_total,
     fixed_sample_estimate,
     hoeffding_sample_size,
     stopping_rule_estimate,
@@ -66,6 +67,7 @@ __all__ = [
     "chernoff_sample_size",
     "empirical_mean",
     "fixed_budget_estimate",
+    "fixed_estimate_from_total",
     "fixed_sample_estimate",
     "fpras_ocqa",
     "hoeffding_sample_size",

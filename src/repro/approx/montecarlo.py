@@ -65,6 +65,27 @@ def zero_detection_sample_size(delta: float, p_lower: float) -> int:
     return max(1, math.ceil(math.log(1.0 / delta) / p_lower))
 
 
+def fixed_estimate_from_total(
+    total: float, n: int, epsilon: float, delta: float
+) -> EstimateResult:
+    """The fixed-Chernoff result for a known sample total.
+
+    The one constructor of ``"fixed-chernoff"`` results: the streaming
+    loop below and the engine's batched vector plane (which counts hits
+    with one array reduction) both build through it, so the method label,
+    the estimate formula, and the zero-certificate semantics can never
+    drift between planes.
+    """
+    return EstimateResult(
+        estimate=total / n,
+        samples_used=n,
+        epsilon=epsilon,
+        delta=delta,
+        method="fixed-chernoff",
+        certified_zero=(total == 0),
+    )
+
+
 def fixed_sample_estimate(
     draw: Callable[[], float],
     epsilon: float,
@@ -76,15 +97,7 @@ def fixed_sample_estimate(
     total = 0.0
     for _ in range(n):
         total += draw()
-    estimate = total / n
-    return EstimateResult(
-        estimate=estimate,
-        samples_used=n,
-        epsilon=epsilon,
-        delta=delta,
-        method="fixed-chernoff",
-        certified_zero=(total == 0.0),
-    )
+    return fixed_estimate_from_total(total, n, epsilon, delta)
 
 
 def stopping_rule_estimate(

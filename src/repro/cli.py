@@ -19,8 +19,10 @@ Example::
 by (instance, generator), and scores each group against one shared sample
 pool — optionally fanning groups out over worker processes.  With
 ``--mode adaptive`` every group runs sequential early-stopping estimators
-instead of fixed budgets, and ``--cache-dir DIR`` (with ``--seed``)
-persists decompositions, bounds and sample batches across runs.
+instead of fixed budgets, ``--cache-dir DIR`` (with ``--seed``) persists
+decompositions, bounds and sample batches across runs, and ``--backend``
+picks the sample plane (``auto`` prefers the vectorized numpy plane and
+falls back to the scalar kernel).
 """
 
 from __future__ import annotations
@@ -124,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist decompositions/bounds/sample batches here across runs "
         "(default: the workload's 'cache_dir' field; needs --seed to be effective)",
+    )
+    batch.add_argument(
+        "--backend",
+        choices=("auto", "vector", "scalar"),
+        default=None,
+        help="sample plane per group (default: the workload's 'backend' field, "
+        "else auto): 'auto' uses the vectorized numpy plane when available and "
+        "falls back to the scalar kernel; pin 'vector' or 'scalar' for "
+        "cross-environment reproducibility",
     )
 
     example = commands.add_parser("example", help="dump a built-in instance")
@@ -267,6 +278,7 @@ def command_batch(args: argparse.Namespace) -> int:
     spec = load_workload_spec(args.workload)
     mode = args.mode if args.mode is not None else spec.mode
     cache_dir = args.cache_dir if args.cache_dir is not None else spec.cache_dir
+    backend = args.backend if args.backend is not None else spec.backend
     if cache_dir is not None and args.seed is None:
         print(
             "note: --cache-dir has no effect without --seed "
@@ -279,6 +291,7 @@ def command_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         mode=mode,
         cache_dir=cache_dir,
+        backend=backend,
     )
     failures = 0
     rows = []

@@ -113,6 +113,70 @@ def sequence_step_weights(
     return tuple(categories), tuple(weights), sum(weights)
 
 
+@lru_cache(maxsize=None)
+def sequence_step_cumulative(sizes: tuple[int, ...], singleton_only: bool = False):
+    """:func:`sequence_step_weights` with the weights pre-accumulated.
+
+    Returns ``(categories, cumulative)`` where ``cumulative`` is a
+    :class:`~repro.sampling.rng.CumulativeWeights` over the same category
+    order — the build-once table both scalar draw paths of
+    :class:`~repro.sampling.sequence_sampler.SequenceSampler` pick from
+    (one ``randrange`` + one ``bisect`` per step instead of an ``O(k)``
+    cumulative scan).  Memoized per live block-size state, like the weight
+    table itself.
+    """
+    # Deferred import: ``repro.sampling`` imports this module at package
+    # init, so a module-level back-import would be circular.
+    from ..sampling.rng import CumulativeWeights
+
+    categories, weights, _ = sequence_step_weights(sizes, singleton_only)
+    return categories, CumulativeWeights(weights)
+
+
+@lru_cache(maxsize=None)
+def aggregated_step_weights(
+    size_counts: tuple[tuple[int, int], ...], singleton_only: bool = False
+) -> tuple[tuple[tuple[int, int, int], ...], tuple[int, ...], int]:
+    """SampleSeq step weights aggregated over equal-size blocks (Lemma 6.2).
+
+    The per-position weights of :func:`sequence_step_weights` depend only
+    on a block's *size* and the multiset of the other live sizes, so
+    positions of equal size carry equal weight and can be drawn as one
+    aggregated category — first the ``(size, kind)`` class, then the
+    concrete block uniformly among the live blocks of that size.  This is
+    the form the vectorized sequence plane consumes: its per-sample state
+    is the multiset of live sizes, not an ordered tuple.
+
+    ``size_counts`` is the live state as sorted ``(size, count)`` pairs
+    (every ``size >= 2``, every ``count >= 1``).  Returns
+    ``(categories, weights, total)`` where each category is
+    ``(size, removed, count)`` — ``removed`` is 1 for a single-fact
+    removal, 2 for a pair — and ``weights[i]`` is the exact aggregated
+    transition weight (``count * size * |CRS(after)|`` resp.
+    ``count * C(size, 2) * |CRS(after)|``).  Aggregation consistency with
+    the per-position table is asserted by ``tests/test_vectorized.py``.
+    """
+    count = count_crs1_for_block_sizes if singleton_only else count_crs_for_block_sizes
+    sizes: list[int] = [s for s, c in size_counts for _ in range(c)]
+    categories: list[tuple[int, int, int]] = []
+    weights: list[int] = []
+    for size, occurrences in size_counts:
+        rest = list(sizes)
+        rest.remove(size)
+        categories.append((size, 1, occurrences))
+        weights.append(
+            occurrences * size * count(tuple(sorted(rest + [size - 1])))
+        )
+        if not singleton_only:
+            categories.append((size, 2, occurrences))
+            weights.append(
+                occurrences
+                * (size * (size - 1) // 2)
+                * count(tuple(sorted(rest + [size - 2])))
+            )
+    return tuple(categories), tuple(weights), sum(weights)
+
+
 def count_crs(database: Database, constraints: FDSet) -> int:
     """``|CRS(D, Σ)|`` for a set of primary keys, in polynomial time."""
     decomposition = block_decomposition(database, constraints)

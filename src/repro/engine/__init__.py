@@ -11,7 +11,7 @@ how this layer sits on top of the paper's samplers and bounds.
 """
 
 from .batch import BatchRequest, BatchResult, batch_estimate
-from .session import EstimationSession, SamplePool
+from .session import DEFAULT_BATCH_SIZE, EstimationSession, SamplePool
 from .store import STORE_VERSION, CacheEntry, CacheStore, instance_cache_key
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "BatchResult",
     "CacheEntry",
     "CacheStore",
+    "DEFAULT_BATCH_SIZE",
     "EstimationSession",
     "STORE_VERSION",
     "SamplePool",

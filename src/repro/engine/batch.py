@@ -24,12 +24,16 @@ Two orthogonal switches extend the planner:
   :class:`~repro.engine.store.CacheStore`, so reruns of the same workload
   warm-start (requires a workload ``seed``; unseeded runs are not
   reproducible and bypass the cache).
+* ``backend="auto"|"vector"|"scalar"`` — the sample plane per group:
+  ``auto`` (default) draws pools on the vectorized numpy plane when
+  available (whole ``uint64``-packed batches, fixed-mode prefixes
+  pre-drawn in one chunked pass) and falls back to the scalar interned
+  kernel otherwise.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -96,6 +100,7 @@ def batch_estimate(
     mode: str = "fixed",
     cache_dir: str | None = None,
     use_kernel: bool = True,
+    backend: str = "auto",
 ) -> list[BatchResult]:
     """Estimate every request, sharing one sample pool per instance group.
 
@@ -111,15 +116,36 @@ def batch_estimate(
     object-path samplers instead of the interned id kernel — results are
     bit-for-bit identical either way (the parity tests assert it); the
     switch exists for benchmarking and as a safety valve.
+
+    ``backend`` picks the sample plane per group (see
+    :meth:`~repro.engine.session.EstimationSession.resolved_backend`):
+    ``"auto"`` (default) draws each group's pool on the vectorized numpy
+    plane when available — workers then draw in whole batches, and fixed
+    mode pre-draws a group's longest fixed prefix in one chunked pass —
+    falling back to the scalar kernel otherwise.  Runs are reproducible
+    per ``(seed, backend)``: both planes are deterministic, but they are
+    *different* deterministic streams, so pin ``backend`` explicitly when
+    comparing runs across machines with and without numpy.
     """
     if mode not in ("fixed", "adaptive"):
         raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
+    if backend not in ("auto", "vector", "scalar"):
+        raise ValueError(
+            f"unknown backend {backend!r} (use 'auto', 'vector' or 'scalar')"
+        )
     indexed = list(enumerate(requests))
     groups: dict[tuple, list[tuple[int, BatchRequest]]] = {}
     for position, request in indexed:
         groups.setdefault(request.group_key(), []).append((position, request))
     payloads = [
-        (members, _group_seed(seed, group_position), mode, cache_dir, use_kernel)
+        (
+            members,
+            _group_seed(seed, group_position),
+            mode,
+            cache_dir,
+            use_kernel,
+            backend,
+        )
         for group_position, members in enumerate(groups.values())
     ]
     if workers and workers > 1 and len(payloads) > 1:
@@ -150,13 +176,13 @@ def _pool_context():
 
 def _estimate_group(
     payload: tuple[
-        Sequence[tuple[int, BatchRequest]], int | None, str, str | None, bool
+        Sequence[tuple[int, BatchRequest]], int | None, str, str | None, bool, str
     ],
 ) -> list[tuple[int, BatchResult]]:
     """Run one group's requests against a shared session + pool (picklable)."""
     from ..approx.fpras import FPRASUnavailable
 
-    members, group_seed, mode, cache_dir, use_kernel = payload
+    members, group_seed, mode, cache_dir, use_kernel, backend = payload
     first = members[0][1]
     cache = None
     if cache_dir is not None and group_seed is not None:
@@ -169,15 +195,14 @@ def _estimate_group(
         first.generator,
         cache=cache,
         use_kernel=use_kernel,
+        backend=backend,
     )
     try:
         if cache is not None:
             pool = session.cached_pool(group_seed)
         else:
-            pool = session.pool(
-                random.Random(group_seed) if group_seed is not None else None
-            )
-    except FPRASUnavailable as error:
+            pool = session.pool_for_seed(group_seed)
+    except (FPRASUnavailable, ValueError) as error:
         return [
             (position, BatchResult(request, error=str(error)))
             for position, request in members
@@ -197,6 +222,44 @@ def _estimate_group(
     return outcomes
 
 
+def _prefetch_fixed_prefix(
+    session: EstimationSession,
+    pool,
+    members: Sequence[tuple[int, BatchRequest]],
+) -> None:
+    """Pre-draw the group's longest fixed-method prefix in one chunked pass.
+
+    Every fixed-method request reads its full Chernoff budget from
+    position zero, so the longest such budget is materialized eventually
+    anyway; drawing it up front lets vector pools fill whole batches
+    back-to-back (and leaves the final pool length — hence the persisted
+    cache entry — exactly what the per-request loop would produce).
+    Requests that will error, are certified impossible, carry an empty
+    witness (entailed by every sample — evaluated without touching the
+    pool), or resolve to the stopping rule contribute nothing.
+    """
+    from ..approx.fpras import FPRASUnavailable
+
+    longest = 0
+    for _, request in members:
+        try:
+            if not session.is_possible(request.query, request.answer):
+                continue
+            if session._witness_eval(request.query, request.answer)[2]:
+                # Empty witness: hits are known without evaluating, so
+                # this request adds nothing a prefetch should pre-draw.
+                continue
+            resolved, budget, _ = session._resolve_method(
+                request.query, request.epsilon, request.delta, request.method, None
+            )
+        except (FPRASUnavailable, ValueError):
+            continue
+        if resolved == "fixed":
+            longest = max(longest, budget)
+    if longest:
+        pool.ensure(longest)
+
+
 def _run_fixed_group(
     session: EstimationSession,
     pool,
@@ -204,6 +267,7 @@ def _run_fixed_group(
 ) -> list[tuple[int, BatchResult]]:
     from ..approx.fpras import FPRASUnavailable
 
+    _prefetch_fixed_prefix(session, pool, members)
     outcomes: list[tuple[int, BatchResult]] = []
     for position, request in members:
         try:

@@ -26,11 +26,35 @@ share the same database.  :class:`EstimationSession` binds one
   stream of sampled repairs lazily; every request evaluates against the
   prefix it needs, so ``N`` requests cost one sampling pass plus ``N``
   cheap evaluations instead of ``N`` independent Monte-Carlo runs.
+* **the vectorized sample plane** — with numpy available (the
+  ``repro-uocqa[fast]`` extra), seed-driven pools
+  (:meth:`EstimationSession.pool_for_seed`, i.e. everything
+  :func:`~repro.engine.batch.batch_estimate` builds) draw whole batches
+  at once through :mod:`repro.sampling.vectorized`: samples live in a
+  packed ``(S, ceil(n/64)) uint64`` bitset matrix and witness hits are
+  counted with array reductions instead of per-sample Python tests.  The
+  ``backend`` switch (``"auto"``/``"vector"``/``"scalar"``) controls the
+  plane; ``"auto"`` resolves to the vector plane whenever numpy is
+  importable, the kernel is on, and the generator is block-structured
+  (``M_ur``/``M_us`` families), and falls back to the scalar kernel
+  otherwise — the plane never changes *what* is computed, only how fast.
 
-Determinism contract: the pool's ``k``-th sample equals the ``k``-th draw
-that a per-call run seeded identically would make, so pooled estimates are
-*bit-for-bit identical* to per-call :func:`~repro.approx.fpras.fpras_ocqa`
-results under the same seed (``tests/test_engine.py`` asserts this).
+Determinism contracts, one per plane:
+
+* **scalar** — a pool driven by a ``random.Random`` (``session.pool(rng)``)
+  draws the exact stream a per-call run seeded identically would, so
+  pooled estimates are *bit-for-bit identical* to per-call
+  :func:`~repro.approx.fpras.fpras_ocqa` results under the same seed
+  (``tests/test_engine.py`` asserts this).
+* **vector** — a vector pool's batch ``b`` is a pure function of
+  ``(instance structure, seed, b, batch size)`` via seeded
+  ``numpy.random.SeedSequence`` substreams (contract spelled out in
+  :mod:`repro.sampling.rng`); the stream is deliberately distinct from
+  the scalar one — equal in distribution, reproducible per seed, and
+  decode-parity-checked against the scalar mask construction
+  (``tests/test_vectorized.py``) — so vector runs replay vector runs
+  bit-for-bit, while cross-plane runs agree statistically, not
+  sample-for-sample.
 
 Two layers sit on top of the fixed estimators:
 
@@ -66,6 +90,7 @@ from ..approx.intervals import ConfidenceInterval
 from ..approx.montecarlo import (
     EstimateResult,
     chernoff_sample_size,
+    fixed_estimate_from_total,
     fixed_sample_estimate,
     stopping_rule_estimate,
 )
@@ -82,9 +107,10 @@ from ..core.facts import Fact
 from ..core.interning import InstanceIndex
 from ..core.queries import ConjunctiveQuery, QueryError, _bind_answer
 from ..exact.possibility import image_is_consistent
+from ..sampling import vectorized as vectorized_plane
 from ..sampling.operations_sampler import UniformOperationsSampler
 from ..sampling.repair_sampler import RepairSampler
-from ..sampling.rng import resolve_rng
+from ..sampling.rng import HAVE_NUMPY, resolve_rng
 from ..sampling.sequence_sampler import SequenceSampler
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (store imports session's pool)
@@ -99,15 +125,20 @@ def _unavailable(message: str) -> RuntimeError:
     return FPRASUnavailable(message)
 
 
+#: Samples per vector-plane batch: each batch is one seeded substream
+#: (and one store row group); the value is part of the vector stream's
+#: reproducibility contract, so changing it re-keys warm vector pools.
+DEFAULT_BATCH_SIZE = 512
+
+
 class SamplePool:
     """A lazily materialized, seeded stream of sampled repairs.
 
-    Samples are stored as fact sets and grown on demand; request ``i``
-    evaluates against positions ``0 .. n_i`` of the *same* stream.  Because
-    every request reads from position zero, a pooled estimate consumes
-    exactly the prefix a fresh per-call run (seeded like the pool) would
-    draw — which is what makes pooled results bit-for-bit reproducible
-    against the per-call API.
+    Samples are grown on demand; request ``i`` evaluates against positions
+    ``0 .. n_i`` of the *same* stream.  Because every request reads from
+    position zero, a pooled estimate consumes exactly the prefix a fresh
+    run (seeded like the pool) would draw — which is what makes pooled
+    results reproducible.
 
     Replay requires retention: the pool keeps every drawn sample for its
     lifetime (unlike the per-call path, which streams and discards).  For
@@ -116,30 +147,80 @@ class SamplePool:
     would grow the pool without limit.
 
     ``preloaded`` warm-starts the stream with samples persisted by a
-    :class:`~repro.engine.store.CacheEntry`; ``draw`` is then only invoked
-    past the preloaded prefix (the caller must hand it an RNG restored to
-    the state recorded after the last persisted draw, so the stream
-    continues bit-for-bit).
+    :class:`~repro.engine.store.CacheEntry`; new draws then continue past
+    the preloaded prefix (for scalar pools the caller must hand ``draw``
+    an RNG restored to the state recorded after the last persisted draw;
+    vector pools resume by batch index — their substreams need no state).
 
     **Interned pools.**  Pools a session builds carry its
-    :class:`~repro.core.interning.InstanceIndex`: ``draw`` returns id
+    :class:`~repro.core.interning.InstanceIndex`: samples are id
     *bitmasks* (one ``int`` per sample, bit ``i`` = fact ``i`` survives),
     :meth:`mask_at` is the hot-path accessor, and :meth:`sample_at`
     reconstructs fact-set objects on demand — so holding ``n`` samples
     costs ``n`` ints, not ``n`` databases.  A pool constructed without an
     index (``SamplePool(draw)``) keeps the historical contract: ``draw``
     returns fact sets and :meth:`sample_at` hands them back verbatim.
+
+    **Vector pools.**  Constructed with a ``plane``
+    (:mod:`repro.sampling.vectorized`) instead of a ``draw`` callable,
+    the pool materializes whole batches of ``batch_size`` samples at a
+    time and additionally keeps the plane's packed ``uint64`` bitset
+    rows (:meth:`packed_prefix`), which the session's batched witness
+    evaluation reduces with array ops.  All scalar accessors
+    (:meth:`mask_at`, :meth:`mask_prefix`, :meth:`sample_at`,
+    :meth:`prefix`) keep working unchanged — a vector pool is a drop-in
+    backing, not a new interface.
     """
 
     def __init__(
         self,
-        draw: Callable[[], frozenset[Fact] | int],
+        draw: Callable[[], frozenset[Fact] | int] | None = None,
         preloaded: Iterable[frozenset[Fact] | int] | None = None,
         index: InstanceIndex | None = None,
+        plane=None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        preloaded_rows=None,
     ):
+        if (draw is None) == (plane is None):
+            raise TypeError("exactly one of draw= and plane= is required")
+        if plane is not None and index is None:
+            raise TypeError("vector pools require an InstanceIndex")
+        if preloaded_rows is not None and (plane is None or preloaded is not None):
+            raise TypeError(
+                "preloaded_rows= is the vector-pool fast path (exclusive "
+                "with preloaded=)"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self._draw = draw
+        self._plane = plane
+        self._batch_size = batch_size
         self._index = index
         self._samples: list[frozenset[Fact] | int] = list(preloaded or ())
+        self._rows = None  # capacity-doubling packed matrix (vector pools)
+        self._rows_length = 0  # valid rows in ``_rows``
+        self._mask_prefix_cache: tuple[int, tuple[int, ...]] = (0, ())
+        self._facts_prefix_cache: tuple[int, tuple[frozenset[Fact], ...]] = (0, ())
+        if plane is not None:
+            if preloaded_rows is not None:
+                # Packed rows preload directly (the warm-cache fast path):
+                # masks stay lazy placeholders like live-drawn batches.
+                count = preloaded_rows.shape[0]
+                if count % batch_size:
+                    raise ValueError(
+                        "a vector pool's preloaded prefix must be whole batches"
+                    )
+                if count:
+                    self._append_rows(preloaded_rows)
+                    self._samples = [None] * count
+            elif self._samples:
+                if len(self._samples) % batch_size:
+                    raise ValueError(
+                        "a vector pool's preloaded prefix must be whole batches"
+                    )
+                self._append_rows(
+                    vectorized_plane.pack_masks(self._samples, plane.words)
+                )
 
     @property
     def interned(self) -> bool:
@@ -151,52 +232,159 @@ class SamplePool:
         """The interning the masks refer to (``None`` for plain pools)."""
         return self._index
 
+    @property
+    def backend(self) -> str:
+        """``"vector"`` for plane-backed pools, ``"scalar"`` otherwise."""
+        return "scalar" if self._plane is None else "vector"
+
+    @property
+    def plane(self):
+        """The vector plane drawing this pool (``None`` for scalar pools)."""
+        return self._plane
+
+    @property
+    def batch_size(self) -> int:
+        """Samples per materialization step (1-at-a-time for scalar pools)."""
+        return self._batch_size if self._plane is not None else 1
+
     def __len__(self) -> int:
         """Number of samples materialized so far (not a limit)."""
         return len(self._samples)
 
     def _materialize(self, index: int) -> None:
+        if self._plane is None:
+            while len(self._samples) <= index:
+                self._samples.append(self._draw())
+            return
         while len(self._samples) <= index:
-            self._samples.append(self._draw())
+            batch_index = len(self._samples) // self._batch_size
+            _, rows = self._plane.draw_batch(batch_index, self._batch_size)
+            self._append_rows(rows)
+            # Masks are decoded from the packed rows lazily (the batched
+            # hot path never needs them): placeholders keep positions.
+            self._samples.extend([None] * self._batch_size)
+
+    def _append_rows(self, rows) -> None:
+        """Grow the packed matrix amortized-linearly (capacity doubling)."""
+        numpy = vectorized_plane.np
+        count = rows.shape[0]
+        needed = self._rows_length + count
+        if self._rows is None or needed > self._rows.shape[0]:
+            capacity = max(needed, 2 * (self._rows.shape[0] if self._rows is not None else 0))
+            grown = numpy.empty((capacity, self._plane.words), dtype="<u8")
+            if self._rows_length:
+                grown[: self._rows_length] = self._rows[: self._rows_length]
+            self._rows = grown
+        self._rows[self._rows_length : needed] = rows
+        self._rows_length = needed
+
+    def _mask(self, position: int) -> int:
+        """The ``position``-th mask, decoding a packed row on first touch."""
+        value = self._samples[position]
+        if value is None:
+            row = self.packed_prefix(position + 1)[position]
+            value = int.from_bytes(row.tobytes(), "little")
+            self._samples[position] = value
+        return value
+
+    def _decode_region(self, start: int, stop: int) -> None:
+        """Bulk-decode ``[start, stop)`` placeholder masks from packed rows."""
+        if self._plane is None or all(
+            value is not None for value in self._samples[start:stop]
+        ):
+            return
+        rows = self.packed_prefix(stop)[start:stop]
+        self._samples[start:stop] = vectorized_plane.unpack_rows(rows)
+
+    def ensure(self, length: int) -> None:
+        """Materialize the first ``length`` samples (chunk-wise on vector
+        pools) — the batch planner pre-draws a group's longest fixed
+        prefix through this in one pass."""
+        if length > 0:
+            self._materialize(length - 1)
 
     def mask_at(self, index: int) -> int:
         """The ``index``-th sample as an id bitmask (interned pools only)."""
         if self._index is None:
             raise TypeError("mask_at() requires a pool built over an InstanceIndex")
         self._materialize(index)
-        return self._samples[index]
+        return self._mask(index)
 
     def mask_prefix(self, length: int) -> Sequence[int]:
         """The first ``length`` samples as bitmasks (interned pools only).
 
-        The bulk accessor for fixed-length evaluation loops: one
-        materialization check for the whole prefix instead of one per
-        sample.
+        The bulk accessor for fixed-length evaluation loops.  The returned
+        view is an immutable tuple, cached across calls: asking for the
+        same (or a shorter) prefix again re-materializes nothing and
+        copies nothing new — only genuine growth appends to the cache.
         """
         if self._index is None:
             raise TypeError("mask_prefix() requires a pool built over an InstanceIndex")
-        if length > 0:
-            self._materialize(length - 1)
-        return self._samples[:length]
+        cached_length, cached = self._mask_prefix_cache
+        if cached_length == length:
+            return cached
+        if length < cached_length:
+            return cached[:length]
+        self.ensure(length)
+        self._decode_region(cached_length, length)
+        cached = cached + tuple(self._samples[cached_length:length])
+        self._mask_prefix_cache = (length, cached)
+        return cached
+
+    def packed_prefix(self, length: int):
+        """The first ``length`` samples as packed ``uint64`` rows.
+
+        Vector pools only (``None`` otherwise): the zero-copy view the
+        batched witness evaluation reduces over.  Rows beyond ``length``
+        from the final batch are drawn but not returned.
+        """
+        if self._plane is None:
+            return None
+        self.ensure(length)
+        if self._rows is None:
+            return vectorized_plane.np.zeros((0, self._plane.words), dtype="<u8")
+        view = self._rows[:length]
+        # Read-only like every other prefix view: a caller mutating the
+        # backing matrix would silently corrupt samples, hit counts, and
+        # the persisted cache.
+        view.flags.writeable = False
+        return view
 
     def sample_at(self, index: int) -> frozenset[Fact]:
         """The ``index``-th sample of the stream as a fact set, drawing as
         needed (on interned pools the facts are reconstructed on demand)."""
         self._materialize(index)
-        sample = self._samples[index]
         if self._index is not None:
-            return self._index.facts_of_mask(sample)
-        return sample
+            return self._index.facts_of_mask(self._mask(index))
+        return self._samples[index]
 
     def prefix(self, length: int) -> Sequence[frozenset[Fact]]:
-        """The first ``length`` samples as fact sets (materializing them)."""
-        if length > 0:
-            self._materialize(length - 1)
-        return [self.sample_at(i) for i in range(length)]
+        """The first ``length`` samples as fact sets (materializing them).
+
+        Cached like :meth:`mask_prefix`: repeated calls for a prefix that
+        has not grown return the same immutable view instead of
+        re-reconstructing every fact set.
+        """
+        cached_length, cached = self._facts_prefix_cache
+        if cached_length == length:
+            return cached
+        if length < cached_length:
+            return cached[:length]
+        self.ensure(length)
+        self._decode_region(cached_length, length)
+        fresh = self._samples[cached_length:length]
+        if self._index is not None:
+            facts_of = self._index.facts_of_mask
+            cached = cached + tuple(facts_of(mask) for mask in fresh)
+        else:
+            cached = cached + tuple(fresh)
+        self._facts_prefix_cache = (length, cached)
+        return cached
 
     def materialized_samples(self) -> Sequence[frozenset[Fact] | int]:
         """Every sample drawn so far, in storage form (masks on interned
         pools, fact sets otherwise) — used by the cache store to persist."""
+        self._decode_region(0, len(self._samples))
         return self._samples
 
 
@@ -214,7 +402,12 @@ class EstimationSession:
         generator: MarkovChainGenerator,
         cache: "CacheEntry | None" = None,
         use_kernel: bool = True,
+        backend: str = "auto",
     ):
+        if backend not in ("auto", "vector", "scalar"):
+            raise ValueError(
+                f"unknown backend {backend!r} (use 'auto', 'vector' or 'scalar')"
+            )
         self.database = database
         self.constraints = constraints
         self.generator = generator
@@ -224,12 +417,20 @@ class EstimationSession:
         #: interned kernel is a pure speedup, and the flag exists so the
         #: parity tests and benches can prove exactly that.
         self.use_kernel = use_kernel
+        #: Which sample plane seed-driven pools use (``"auto"``/``"vector"``/
+        #: ``"scalar"``); see :meth:`resolved_backend`.  ``random.Random``-
+        #: driven pools (:meth:`pool`) always stay on the scalar plane —
+        #: that is the bit-for-bit per-call parity contract.
+        self.backend = backend
         self._decomposition: BlockDecomposition | None = None
         self._index: InstanceIndex | None = None
         self._witnesses: dict[
             tuple[ConjunctiveQuery, tuple], tuple[frozenset[Fact], ...]
         ] = {}
         self._witness_masks: dict[tuple[ConjunctiveQuery, tuple], tuple[int, ...]] = {}
+        self._witness_plans: dict[
+            tuple[ConjunctiveQuery, tuple], tuple[int, tuple[int, ...], bool]
+        ] = {}
         self._possible: dict[tuple[ConjunctiveQuery, tuple], bool] = {}
         self._bounds: dict[ConjunctiveQuery, float] = {}
 
@@ -354,22 +555,123 @@ class EstimationSession:
 
         The pool stores compact id bitmasks (one ``int`` per sample) over
         the session's :meth:`index`; fact-set views are reconstructed on
-        demand by :meth:`SamplePool.sample_at`.
+        demand by :meth:`SamplePool.sample_at`.  ``random.Random``-driven
+        pools always run on the *scalar* plane — they carry the
+        bit-for-bit per-call parity contract; seed-driven callers wanting
+        the vector plane go through :meth:`pool_for_seed` or
+        :meth:`vector_pool`.
         """
         return SamplePool(self._draw_mask(resolve_rng(rng)), index=self.index())
+
+    def resolved_backend(self) -> str:
+        """The plane (``"vector"``/``"scalar"``) seed-driven pools will use.
+
+        ``backend="auto"`` resolves to the vector plane when numpy is
+        importable, the interned kernel is on, and the generator is
+        block-structured (the ``M_ur``/``M_us`` families — the ``M_uo``
+        walk has no vector plane); anything else falls back to
+        ``"scalar"``.  An explicit ``backend="vector"`` raises instead of
+        silently degrading when those prerequisites are missing.
+        """
+        if self.backend == "scalar":
+            return "scalar"
+        vectorizable = (
+            HAVE_NUMPY
+            and self.use_kernel
+            and isinstance(self.generator, (UniformRepairs, UniformSequences))
+        )
+        if self.backend == "vector":
+            if not HAVE_NUMPY:
+                raise ValueError(
+                    "backend='vector' requires numpy — install the "
+                    "'repro-uocqa[fast]' extra or use backend='scalar'"
+                )
+            if not vectorizable:
+                raise ValueError(
+                    f"backend='vector' is unavailable here (generator "
+                    f"{self.generator.name!r} with use_kernel={self.use_kernel}); "
+                    "the vector plane covers the kernel-backed M_ur/M_us families"
+                )
+            return "vector"
+        return "vector" if vectorizable else "scalar"
+
+    def vector_plane(self, seed: int | None = None):
+        """A vectorized sample plane for this session's generator.
+
+        One :class:`~repro.sampling.vectorized.VectorRepairPlane` /
+        :class:`~repro.sampling.vectorized.VectorSequencePlane` over the
+        session's interning, seeded per the plane's substream contract.
+        Also the handle the decode-parity harness uses: a fresh plane with
+        the same seed re-draws any pool batch exactly.
+        """
+        self.ensure_supported()
+        singleton = self.generator.singleton_only
+        if isinstance(self.generator, UniformRepairs):
+            return vectorized_plane.VectorRepairPlane(self.index(), singleton, seed)
+        if isinstance(self.generator, UniformSequences):
+            return vectorized_plane.VectorSequencePlane(self.index(), singleton, seed)
+        raise ValueError(
+            f"no vector plane for generator {self.generator.name!r}"
+        )
+
+    def vector_pool(
+        self, seed: int | None = None, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> SamplePool:
+        """A vector-plane pool drawing in packed batches (requires numpy)."""
+        return SamplePool(
+            plane=self.vector_plane(seed),
+            index=self.index(),
+            batch_size=batch_size,
+        )
+
+    def pool_for_seed(self, seed: int | None) -> SamplePool:
+        """A pool for an integer seed, on the session's resolved backend.
+
+        The entry point :func:`~repro.engine.batch.batch_estimate` uses:
+        the vector plane when :meth:`resolved_backend` says so, otherwise
+        a scalar pool seeded ``random.Random(seed)`` (the exact PR-3
+        stream).
+        """
+        if self.resolved_backend() == "vector":
+            return self.vector_pool(seed)
+        return self.pool(random.Random(seed) if seed is not None else None)
 
     def cached_pool(self, seed: int | None) -> SamplePool:
         """A pool warm-started from the session's cache entry (if possible).
 
-        Persisted samples preload the stream and the RNG resumes from the
-        recorded state, so warm draws continue the cold run's stream
-        bit-for-bit.  Without a cache entry or a seed this degrades to a
-        plain :meth:`pool` (an unseeded stream is not reproducible, so
-        persisting it would be meaningless).
+        Persisted samples preload the stream and drawing resumes where the
+        cold run stopped — scalar pools restore the recorded
+        ``random.Random`` state, vector pools resume by batch index (their
+        substreams need no state) — so warm draws continue the cold run's
+        stream bit-for-bit.  Without a cache entry or a seed this degrades
+        to a plain :meth:`pool_for_seed` (an unseeded stream is not
+        reproducible, so persisting it would be meaningless).
+
+        A persisted prefix from the *other* plane cannot be extended: with
+        ``backend="auto"`` a warm scalar prefix (e.g. a transparently
+        upgraded v2 entry) keeps the entry on the scalar plane; under an
+        explicitly requested plane a mismatched prefix is discarded and
+        redrawn instead.
         """
-        rng = random.Random(seed) if seed is not None else None
-        if self.cache is None or rng is None:
-            return self.pool(rng)
+        if self.cache is None or seed is None:
+            return self.pool_for_seed(seed)
+        backend = self.resolved_backend()
+        if (
+            self.backend == "auto"
+            and backend == "vector"
+            and self.cache.sample_backend() == "scalar"
+        ):
+            backend = "scalar"
+        if backend == "vector":
+            return self._cached_vector_pool(seed)
+        return self._cached_scalar_pool(seed)
+
+    def _cached_scalar_pool(self, seed: int) -> SamplePool:
+        rng = random.Random(seed)
+        if self.cache.sample_backend() == "vector":
+            # A vector-plane prefix cannot be extended by random.Random
+            # draws; drop it so the entry is rewritten on this plane.
+            self.cache.discard_samples()
         preloaded = self.cache.preload_sample_masks()
         state = self.cache.rng_state() if preloaded else None
         if state is not None:
@@ -389,6 +691,32 @@ class EstimationSession:
             self._draw_mask(rng), preloaded=preloaded, index=self.index()
         )
         self.cache.attach_pool(shared, rng)
+        return shared
+
+    def _cached_vector_pool(self, seed: int) -> SamplePool:
+        rows = self.cache.sample_word_rows()
+        if rows:
+            if (
+                self.cache.sample_backend() != "vector"
+                or self.cache.sample_batch() != DEFAULT_BATCH_SIZE
+                or len(rows) % DEFAULT_BATCH_SIZE
+            ):
+                # A scalar prefix, a foreign batch size, or a torn batch:
+                # none of them resume a substream — redraw cleanly.
+                self.cache.discard_samples()
+                rows = []
+        preloaded_rows = None
+        if rows:
+            # The on-disk word row IS the matrix row: load it without any
+            # bignum round trip (masks decode lazily if ever needed).
+            preloaded_rows = vectorized_plane.np.array(rows, dtype="<u8")
+        shared = SamplePool(
+            plane=self.vector_plane(seed),
+            preloaded_rows=preloaded_rows,
+            index=self.index(),
+            batch_size=DEFAULT_BATCH_SIZE,
+        )
+        self.cache.attach_pool(shared, None)
         return shared
 
     # -- per-(query, answer) caches --------------------------------------------------
@@ -523,7 +851,7 @@ class EstimationSession:
     def _witness_eval(
         self, query: ConjunctiveQuery, answer: tuple
     ) -> tuple[int, tuple[int, ...], bool]:
-        """The witness masks classified for the hot loop.
+        """The witness masks classified for the hot loop (cached).
 
         Returns ``(singles, complexes, always)``: the OR-union of all
         single-fact witness masks (a sample hits one iff ``mask & singles``
@@ -531,46 +859,31 @@ class EstimationSession:
         common case for per-fact survival workloads), the remaining
         multi-fact witness masks (each needing its own subset test), and
         whether an *empty* witness exists (the query is entailed by every
-        sample).
+        sample).  Both the scalar per-position tests and the batched
+        column reductions consume this one classification.
         """
-        singles = 0
-        complexes = []
-        always = False
-        for witness in self.witness_masks(query, answer):
-            if witness == 0:
-                always = True
-            elif witness & (witness - 1) == 0:
-                singles |= witness
-            else:
-                complexes.append(witness)
-        return singles, tuple(complexes), always
+        key = (query, answer)
+        plan = self._witness_plans.get(key)
+        if plan is None:
+            singles = 0
+            complexes = []
+            always = False
+            for witness in self.witness_masks(query, answer):
+                if witness == 0:
+                    always = True
+                elif witness & (witness - 1) == 0:
+                    singles |= witness
+                else:
+                    complexes.append(witness)
+            plan = (singles, tuple(complexes), always)
+            self._witness_plans[key] = plan
+        return plan
 
-    def _pool_hit(
+    def _evaluator(
         self, pool: SamplePool, query: ConjunctiveQuery, answer: tuple
-    ) -> Callable[[int], bool]:
-        """Position → "sample entails answer", picked once per request.
-
-        Interned pools (everything a session builds) evaluate with integer
-        subset tests on masks; a caller-constructed plain pool keeps the
-        original fact-set path.
-        """
-        if pool.interned:
-            singles, complexes, always = self._witness_eval(query, answer)
-            mask_at = pool.mask_at
-            if always:
-                return lambda position: True
-            if not complexes:
-                return lambda position: bool(mask_at(position) & singles)
-
-            def hit(position: int) -> bool:
-                mask = mask_at(position)
-                return bool(mask & singles) or self._entails_mask(complexes, mask)
-
-            return hit
-        witnesses = self.witnesses(query, answer)
-        return lambda position: self._entails_sample(
-            witnesses, pool.sample_at(position)
-        )
+    ) -> "_PoolEvaluator":
+        """Hit evaluation of one request against one pool, plane-aware."""
+        return _PoolEvaluator(self, pool, query, answer)
 
     # -- estimation ------------------------------------------------------------------
 
@@ -617,24 +930,41 @@ class EstimationSession:
     ) -> EstimateResult:
         """Like :meth:`estimate`, but drawing from a shared :class:`SamplePool`.
 
-        Each request reads the pool from position zero, so the result equals
-        ``estimate(..., rng=random.Random(seed))`` whenever ``pool`` was
-        seeded with the same seed — while ``N`` pooled requests share one
-        sampling pass instead of performing ``N``.
+        Each request reads the pool from position zero, so ``N`` pooled
+        requests share one sampling pass instead of performing ``N``.  For
+        a *scalar* pool built from a ``random.Random`` (:meth:`pool`) the
+        result equals ``estimate(..., rng=random.Random(seed))`` under the
+        same seed; vector pools are equally deterministic but follow their
+        own substream contract (module docstring), so their results replay
+        vector runs, not ``random.Random`` ones.
         """
         self.ensure_supported()
         if not self.is_possible(query, answer):
             return self._certified_zero(epsilon, delta)
-        hit = self._pool_hit(pool, query, answer)
+        evaluator = self._evaluator(pool, query, answer)
+        resolved, budget, bound = self._resolve_method(
+            query, epsilon, delta, method, p_lower
+        )
+        if resolved == "fixed" and pool.backend == "vector":
+            # The batched fixed path: one packed-prefix reduction instead
+            # of ``budget`` per-position tests.  The hit count is the
+            # exact float total ``fixed_sample_estimate`` would accumulate
+            # from the same indicator stream, built into a result by the
+            # same constructor.
+            return fixed_estimate_from_total(
+                evaluator.count(budget), budget, epsilon, delta
+            )
         position = 0
 
         def draw() -> float:
             nonlocal position
-            entailed = hit(position)
+            entailed = evaluator.flag(position)
             position += 1
             return 1.0 if entailed else 0.0
 
-        return self._run(draw, query, epsilon, delta, method, p_lower, max_samples)
+        if resolved == "fixed":
+            return fixed_sample_estimate(draw, epsilon, delta, bound)
+        return stopping_rule_estimate(draw, epsilon, delta, max_samples=max_samples)
 
     def estimate_many(
         self,
@@ -758,15 +1088,17 @@ class EstimationSession:
                 results[index] = self._certified_zero_adaptive(epsilon, delta)
                 continue
             estimator = self.adaptive_estimator(query, epsilon, delta, max_samples)
-            pending.append([index, self._pool_hit(pool, query, answer), estimator, 0])
+            pending.append(
+                [index, self._evaluator(pool, query, answer), estimator, 0]
+            )
         target = initial_round
         while pending:
             goal = min(target, max(state[2].sample_cap for state in pending))
             still_pending = []
             for state in pending:
-                index, hit, estimator, position = state
+                index, evaluator, estimator, position = state
                 while position < goal and not estimator.decided:
-                    entailed = hit(position)
+                    entailed = evaluator.flag(position)
                     position += 1
                     estimator.offer(1.0 if entailed else 0.0)
                 state[3] = position
@@ -821,22 +1153,7 @@ class EstimationSession:
         """Fixed-budget estimate over a shared pool's first ``samples`` draws."""
         self.ensure_supported()
         self._budget_witnesses(query, answer)
-        if pool.interned:
-            singles, complexes, always = self._witness_eval(query, answer)
-            prefix = pool.mask_prefix(samples)
-            if always:
-                hits = samples
-            elif not complexes:
-                hits = sum(1 for mask in prefix if mask & singles)
-            else:
-                hits = sum(
-                    1
-                    for mask in prefix
-                    if mask & singles or self._entails_mask(complexes, mask)
-                )
-        else:
-            hit = self._pool_hit(pool, query, answer)
-            hits = sum(1 for index in range(samples) if hit(index))
+        hits = self._evaluator(pool, query, answer).count(samples)
         return self._budget_result(hits, samples)
 
     def _budget_witnesses(
@@ -876,6 +1193,33 @@ class EstimationSession:
             certified_zero=True,
         )
 
+    def _resolve_method(
+        self,
+        query: ConjunctiveQuery,
+        epsilon: float,
+        delta: float,
+        method: str,
+        p_lower: float | None,
+    ) -> tuple[str, int | None, float]:
+        """``(resolved method, fixed budget or None, positivity bound)``.
+
+        The one implementation of the ``auto`` dispatch — the estimate
+        paths and the batch planner's chunked pre-draw both read it, so
+        "which estimator will run, over how many samples" can never drift
+        between them.
+        """
+        from ..approx.fpras import AUTO_FIXED_BUDGET
+
+        bound = p_lower if p_lower is not None else self.positivity_bound(query)
+        if method == "auto":
+            budget = chernoff_sample_size(epsilon, delta, bound)
+            method = "fixed" if budget <= AUTO_FIXED_BUDGET else "dklr"
+        if method == "fixed":
+            return "fixed", chernoff_sample_size(epsilon, delta, bound), bound
+        if method == "dklr":
+            return "dklr", None, bound
+        raise ValueError(f"unknown method {method!r}")
+
     def _run(
         self,
         draw: Callable[[], float],
@@ -886,14 +1230,145 @@ class EstimationSession:
         p_lower: float | None,
         max_samples: int | None,
     ) -> EstimateResult:
-        from ..approx.fpras import AUTO_FIXED_BUDGET
-
-        bound = p_lower if p_lower is not None else self.positivity_bound(query)
-        if method == "auto":
-            budget = chernoff_sample_size(epsilon, delta, bound)
-            method = "fixed" if budget <= AUTO_FIXED_BUDGET else "dklr"
-        if method == "fixed":
+        resolved, _, bound = self._resolve_method(
+            query, epsilon, delta, method, p_lower
+        )
+        if resolved == "fixed":
             return fixed_sample_estimate(draw, epsilon, delta, bound)
-        if method == "dklr":
-            return stopping_rule_estimate(draw, epsilon, delta, max_samples=max_samples)
-        raise ValueError(f"unknown method {method!r}")
+        return stopping_rule_estimate(draw, epsilon, delta, max_samples=max_samples)
+
+
+class _PoolEvaluator:
+    """Hit evaluation of one ``(query, answer)`` against one pool's prefix.
+
+    The plane-aware replacement for the old per-position hit closures:
+
+    * **vector pools** — hits are computed in whole batches with packed
+      column reductions (:func:`repro.sampling.vectorized.batch_hit_flags`)
+      and cached; :meth:`flag` serves positions out of the evaluated
+      prefix, growing it one pool batch at a time, and :meth:`count` folds
+      a known-length prefix in one reduction.
+    * **scalar pools** — every accessor reproduces the pre-vector code
+      paths *exactly* (same tests, same pool materialization pattern), so
+      scalar results and cache contents stay bit-for-bit what they were.
+    """
+
+    __slots__ = (
+        "_pool",
+        "_always",
+        "_singles",
+        "_complexes",
+        "_witnesses",
+        "_witness_rows",
+        "_flags",
+        "_evaluated",
+    )
+
+    def __init__(
+        self,
+        session: EstimationSession,
+        pool: SamplePool,
+        query: ConjunctiveQuery,
+        answer: tuple,
+    ):
+        self._pool = pool
+        self._flags = None
+        self._witness_rows = None
+        self._evaluated = 0
+        if pool.interned:
+            self._singles, self._complexes, self._always = session._witness_eval(
+                query, answer
+            )
+            self._witnesses = None
+        else:
+            self._witnesses = session.witnesses(query, answer)
+            self._singles, self._complexes, self._always = 0, (), False
+
+    # -- batched path (vector pools) ---------------------------------------------------
+
+    def _ensure_flags(self, length: int) -> None:
+        if self._evaluated >= length:
+            return
+        numpy = vectorized_plane.np
+        rows = self._pool.packed_prefix(length)
+        if self._witness_rows is None:
+            # Packed once per evaluator: the witness rows are fixed for
+            # its lifetime, so chunked growth pays only the reductions.
+            self._witness_rows = vectorized_plane.pack_witnesses(
+                self._singles, self._complexes, rows.shape[1]
+            )
+        fresh = vectorized_plane.batch_hit_flags(
+            rows[self._evaluated :],
+            self._singles,
+            self._complexes,
+            self._always,
+            packed=self._witness_rows,
+        )
+        if self._flags is None or length > self._flags.shape[0]:
+            # Capacity doubling: chunked dklr/adaptive growth stays
+            # amortized-linear instead of re-concatenating per chunk.
+            capacity = max(
+                length, 2 * (self._flags.shape[0] if self._flags is not None else 0)
+            )
+            grown = numpy.zeros(capacity, dtype=bool)
+            if self._evaluated:
+                grown[: self._evaluated] = self._flags[: self._evaluated]
+            self._flags = grown
+        self._flags[self._evaluated : length] = fresh
+        self._evaluated = length
+
+    # -- scalar path (bit-for-bit the pre-vector behaviour) ----------------------------
+
+    def _scalar_flag(self, position: int) -> bool:
+        pool = self._pool
+        if self._witnesses is not None:
+            return EstimationSession._entails_sample(
+                self._witnesses, pool.sample_at(position)
+            )
+        if self._always:
+            return True
+        mask = pool.mask_at(position)
+        if mask & self._singles:
+            return True
+        return EstimationSession._entails_mask(self._complexes, mask)
+
+    # -- public accessors --------------------------------------------------------------
+
+    def flag(self, position: int) -> bool:
+        """Whether sample ``position`` entails the answer."""
+        if self._witnesses is None and self._always:
+            # Mirrors the scalar closures: an empty witness answers
+            # without touching the pool on either plane.
+            return True
+        if self._pool.backend == "vector":
+            if position >= self._evaluated:
+                chunk = self._pool.batch_size
+                self._ensure_flags(((position // chunk) + 1) * chunk)
+            return bool(self._flags[position])
+        return self._scalar_flag(position)
+
+    def count(self, length: int) -> int:
+        """Hits among the first ``length`` samples (batched when possible)."""
+        if self._witnesses is None and self._always:
+            # Empty witness: every sample hits, so nothing needs drawing.
+            # The scalar plane still materializes (the PR 3 fixed-budget
+            # path always did — preserved bit-for-bit); the vector plane
+            # has no such history and skips the wasted batches.
+            if self._pool.backend != "vector":
+                self._pool.ensure(length)
+            return length
+        if self._pool.backend == "vector":
+            self._ensure_flags(length)
+            return int(self._flags[:length].sum())
+        if self._witnesses is not None:
+            return sum(1 for position in range(length) if self._scalar_flag(position))
+        prefix = self._pool.mask_prefix(length)
+        singles = self._singles
+        complexes = self._complexes
+        if not complexes:
+            return sum(1 for mask in prefix if mask & singles)
+        return sum(
+            1
+            for mask in prefix
+            if mask & singles or EstimationSession._entails_mask(complexes, mask)
+        )

@@ -14,20 +14,31 @@ of the key because the sample stream depends on it; the seed-independent
 structural fields are deliberately duplicated across seeds — one key must
 cover everything any persisted field could depend on.)  Each entry holds:
 
-* ``version`` — the store format version; a mismatch invalidates the entry;
+* ``version`` — the store format version; a mismatch invalidates the entry
+  (except the documented v2 upgrade below);
 * ``decomposition`` — the block decomposition (Lemma 5.2), as
   ``[{relation, group, facts}]`` rows;
 * ``possibility`` — the cached polynomial zero-test verdicts, keyed by
   ``"<query>|<answer JSON>"``;
 * ``bounds`` — positivity lower bounds, keyed by the query text;
-* ``samples`` + ``rng_state`` — the materialized prefix of the shared
-  :class:`~repro.engine.session.SamplePool` (each sample a sorted list of
-  ids into the database's canonical fact order — the same dense ids the
-  :class:`~repro.core.interning.InstanceIndex` kernel interns, so a row
-  decodes to an id bitmask with pure integer work and never reconstructs a
-  fact) and the ``random.Random`` state *after* the last persisted draw,
-  so a warm pool extends the stream bit-for-bit where the cold run left
-  off.  Replayed estimates are therefore identical to cold-run estimates.
+* ``samples`` + ``backend`` + ``batch`` + ``rng_state`` — the materialized
+  prefix of the shared :class:`~repro.engine.session.SamplePool` as
+  **packed word rows**: each sample is a list of
+  ``ceil(n_facts / 64)`` unsigned 64-bit words, word ``w`` holding fact
+  ids ``64w .. 64w + 63`` of the sample's id bitmask (the vector plane's
+  on-disk row *is* its in-memory ``uint64`` matrix row, and a scalar
+  mask packs to the same words).  ``backend`` records which plane drew
+  the prefix: ``"scalar"`` rows resume through the persisted
+  ``random.Random`` state *after* the last draw; ``"vector"`` rows
+  resume by batch index (``batch`` is the plane's batch size — part of
+  its substream contract — and ``rng_state`` is ``null``).  Replayed
+  estimates are identical to cold-run estimates on the same plane.
+
+Entries written at version 2 (id-array rows + RNG state) are
+**transparently upgraded** on load: the id rows decode to the same masks,
+re-encode as packed words with ``backend: "scalar"``, and the next save
+rewrites the entry at version 3 — a v2 cache keeps its warm stream.
+Version 1 entries (and any other mismatch) are recomputed.
 
 Failure policy: the cache is an accelerator, never an authority.  Any
 read problem — missing file, truncated/corrupt JSON, version mismatch,
@@ -52,6 +63,13 @@ from ..core.facts import Fact
 from ..core.interning import mask_ids
 from ..core.queries import ConjunctiveQuery
 
+# The packed-word geometry is owned by the vector plane: the v3 format's
+# core invariant is "the on-disk word row IS the plane's uint64 matrix
+# row", so the store reads the constants from the one place that defines
+# them (the module imports cleanly without numpy).
+from ..sampling.vectorized import WORD_BITS as _WORD_BITS
+from ..sampling.vectorized import words_for as _words_for
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session imports store)
     from .session import SamplePool
 
@@ -60,7 +78,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session imports stor
 #: canonical fact order — byte-compatible with v1's index rows, but the
 #: decode contract is now "ids of the session's InstanceIndex", and warm
 #: pools preload them as bitmasks without reconstructing facts).
-STORE_VERSION = 2
+#: v3: sample rows are packed uint64 word lists (the vector plane's
+#: bitset-matrix rows) plus ``backend``/``batch`` metadata; v2 entries
+#: upgrade in place on load instead of being recomputed.
+STORE_VERSION = 3
 
 
 def _freeze(value: Any) -> Any:
@@ -81,8 +102,12 @@ def _decode_fact(row: Any) -> Fact:
     return Fact(str(relation), tuple(_freeze(v) for v in values))
 
 
-def _encode_sample(sample: frozenset[Fact], index_of: dict[Fact, int]) -> list[int]:
-    return sorted(index_of[f] for f in sample)
+def _mask_to_words(mask: int, words: int) -> list[int]:
+    """An id bitmask as its packed word row (little-endian word order)."""
+    return [
+        (mask >> (_WORD_BITS * position)) & ((1 << _WORD_BITS) - 1)
+        for position in range(words)
+    ]
 
 
 class CacheFormatError(ValueError):
@@ -146,18 +171,79 @@ class CacheEntry:
             "bounds": {},
             "samples": [],
             "rng_state": None,
+            "backend": None,
+            "batch": None,
         }
         try:
             with open(self.path, encoding="utf-8") as handle:
                 document = json.load(handle)
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return empty
-        if not isinstance(document, dict) or document.get("version") != STORE_VERSION:
+        if not isinstance(document, dict):
+            return empty
+        version = document.get("version")
+        if version not in (2, STORE_VERSION):
             return empty
         for field, kind in (("possibility", dict), ("bounds", dict), ("samples", list)):
             if not isinstance(document.get(field), kind):
                 return empty
+        if version == 2:
+            return self._upgrade_v2(document, empty)
+        if document.get("backend") not in (None, "scalar", "vector"):
+            return empty
+        batch = document.get("batch")
+        if batch is not None and (
+            isinstance(batch, bool) or not isinstance(batch, int) or batch < 1
+        ):
+            return empty
         return document
+
+    def _upgrade_v2(self, document: dict[str, Any], empty: dict[str, Any]) -> dict[str, Any]:
+        """Re-encode a v2 entry in place (id rows → packed words, scalar plane).
+
+        The structural fields carry over unchanged; sample rows decode
+        with the v2 validation rules and re-encode as packed words, so the
+        warm stream survives the format bump.  Undecodable rows degrade to
+        an empty stream (never to a wrong one).  The entry is marked dirty
+        so the next save rewrites it at the current version.
+        """
+        masks = self._decode_v2_rows(document["samples"])
+        upgraded = dict(empty)
+        upgraded["decomposition"] = document.get("decomposition")
+        upgraded["possibility"] = document["possibility"]
+        upgraded["bounds"] = document["bounds"]
+        if masks:
+            words = self._sample_words()
+            upgraded["samples"] = [_mask_to_words(mask, words) for mask in masks]
+            upgraded["rng_state"] = document.get("rng_state")
+            upgraded["backend"] = "scalar"
+        self._dirty = True
+        return upgraded
+
+    def _decode_v2_rows(self, rows: Any) -> list[int]:
+        """v2 id rows → masks, with the v2 validation rules (empty on damage)."""
+        size = len(self._fact_order())
+        decoded: list[int] = []
+        try:
+            for row in rows:
+                mask = 0
+                for identifier in row:
+                    if (
+                        # bool is an int subclass: true/false would silently
+                        # decode as fact 1/0, altering the replayed stream.
+                        isinstance(identifier, bool)
+                        or not isinstance(identifier, int)
+                        or not 0 <= identifier < size
+                    ):
+                        raise CacheFormatError("malformed sample id row")
+                    bit = 1 << identifier
+                    if mask & bit:
+                        raise CacheFormatError("duplicate sample ids")
+                    mask |= bit
+                decoded.append(mask)
+        except (CacheFormatError, TypeError):
+            return []
+        return decoded
 
     def save(self) -> None:
         """Atomically persist the entry if anything changed since loading."""
@@ -299,42 +385,65 @@ class CacheEntry:
             self._sorted_facts = self._database.sorted_facts()
         return self._sorted_facts
 
-    def preload_sample_masks(self) -> list[int]:
-        """The persisted sample prefix as id bitmasks (empty on any decode
-        problem).
+    def _sample_words(self) -> int:
+        """Packed words per sample row for this entry's database."""
+        return _words_for(len(self._fact_order()))
 
-        Sample rows are id lists into the database's canonical fact order
-        (= the ids of the session's
-        :class:`~repro.core.interning.InstanceIndex`), so decoding is pure
-        integer work — set one bit per id, no fact reconstruction.  An
-        out-of-range, duplicate or non-integer id marks the entry corrupt
-        and the whole batch is **discarded** (the RNG state would be
-        meaningless for a different stream), so the next :meth:`save`
-        rewrites a clean entry instead of preserving the damage.
+    def sample_backend(self) -> str | None:
+        """Which plane drew the persisted prefix (``None`` when unknown/empty)."""
+        value = self._document.get("backend")
+        return value if value in ("scalar", "vector") else None
+
+    def sample_batch(self) -> int | None:
+        """The vector plane's batch size the prefix was drawn with, if any."""
+        value = self._document.get("batch")
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            return None
+        return value
+
+    def sample_word_rows(self) -> list[list[int]]:
+        """The persisted sample prefix as validated packed word rows.
+
+        The zero-conversion view for vector pools (their in-memory matrix
+        row is the on-disk row).  A row of the wrong width, a non-integer
+        or out-of-range word, or set bits beyond the instance's fact
+        count marks the entry corrupt and the whole batch is
+        **discarded** (resume state would be meaningless for a different
+        stream), so the next :meth:`save` rewrites a clean entry instead
+        of preserving the damage.
         """
         size = len(self._fact_order())
-        decoded: list[int] = []
+        words = self._sample_words()
+        rows: list[list[int]] = []
         try:
             for row in self._document["samples"]:
-                mask = 0
-                for identifier in row:
+                if not isinstance(row, list) or len(row) != words:
+                    raise CacheFormatError("malformed sample word row")
+                for word in row:
                     if (
-                        # bool is an int subclass: true/false would silently
-                        # decode as fact 1/0, altering the replayed stream.
-                        isinstance(identifier, bool)
-                        or not isinstance(identifier, int)
-                        or not 0 <= identifier < size
+                        # bool is an int subclass: reject it here like the
+                        # v2 id decoder always did.
+                        isinstance(word, bool)
+                        or not isinstance(word, int)
+                        or not 0 <= word < (1 << _WORD_BITS)
                     ):
-                        raise CacheFormatError("malformed sample id row")
-                    bit = 1 << identifier
-                    if mask & bit:
-                        raise CacheFormatError("duplicate sample ids")
-                    mask |= bit
-                decoded.append(mask)
+                        raise CacheFormatError("malformed sample word")
+                if words and row[-1] >> (size - _WORD_BITS * (words - 1)):
+                    raise CacheFormatError("sample bits beyond the instance")
+                rows.append(row)
         except (CacheFormatError, TypeError):
             self.discard_samples()
             return []
-        return decoded
+        return rows
+
+    def preload_sample_masks(self) -> list[int]:
+        """The persisted sample prefix as id bitmasks (empty on any decode
+        problem) — :meth:`sample_word_rows` shift-OR'ed together, pure
+        integer work with no fact reconstruction."""
+        return [
+            sum(word << (_WORD_BITS * position) for position, word in enumerate(row))
+            for row in self.sample_word_rows()
+        ]
 
     def preload_samples(self) -> list[frozenset[Fact]]:
         """The persisted sample prefix as fact sets (compatibility view)."""
@@ -345,10 +454,17 @@ class CacheEntry:
         ]
 
     def discard_samples(self) -> None:
-        """Drop the persisted sample batch (and its RNG state) as corrupt."""
-        if self._document["samples"] or self._document.get("rng_state") is not None:
+        """Drop the persisted sample prefix (and its resume metadata)."""
+        if (
+            self._document["samples"]
+            or self._document.get("rng_state") is not None
+            or self._document.get("backend") is not None
+            or self._document.get("batch") is not None
+        ):
             self._document["samples"] = []
             self._document["rng_state"] = None
+            self._document["backend"] = None
+            self._document["batch"] = None
             self._dirty = True
 
     def rng_state(self) -> tuple | None:
@@ -361,27 +477,54 @@ class CacheEntry:
         except TypeError:
             return None
 
-    def attach_pool(self, pool: "SamplePool", rng) -> None:
-        """Track a live pool + RNG so :meth:`save` persists newly drawn samples."""
+    def attach_pool(self, pool: "SamplePool", rng=None) -> None:
+        """Track a live pool (+ RNG for scalar pools) so :meth:`save`
+        persists newly drawn samples.
+
+        Scalar pools must come with the RNG that draws them — persisting
+        their prefix without its post-draw state would be unreplayable —
+        so the omission fails here, not deep inside :meth:`save`.
+        """
+        if rng is None and getattr(pool, "backend", "scalar") != "vector":
+            raise ValueError("attach_pool() needs the drawing RNG for scalar pools")
         self._pool = pool
         self._rng = rng
 
     def _sync_pool(self) -> None:
-        materialized = self._pool.materialized_samples()
-        if len(materialized) <= len(self._document["samples"]):
+        drawn = len(self._pool)
+        if drawn <= len(self._document["samples"]):
             return
-        if getattr(self._pool, "interned", False):
-            # Interned pools hold id bitmasks; the sorted set-bit ids *are*
-            # the on-disk row (the index order equals the canonical fact
-            # order), so encoding never touches a Fact.
-            self._document["samples"] = [mask_ids(mask) for mask in materialized]
+        backend = getattr(self._pool, "backend", "scalar")
+        if backend == "vector":
+            # The on-disk row IS the pool's packed uint64 matrix row:
+            # serialize it directly, never round-tripping through the
+            # pool's (lazily decoded) arbitrary-precision masks.  Vector
+            # prefixes resume by batch index — the substream contract
+            # replaces the RNG state (the batch size is part of it).
+            self._document["samples"] = self._pool.packed_prefix(drawn).tolist()
+            self._document["batch"] = self._pool.batch_size
+            self._document["rng_state"] = None
         else:
-            index_of = {fact: index for index, fact in enumerate(self._fact_order())}
+            words = self._sample_words()
+            materialized = self._pool.materialized_samples()
+            if getattr(self._pool, "interned", False):
+                # Interned pools hold id bitmasks (the index order equals
+                # the canonical fact order): encoding never touches a Fact.
+                masks = materialized
+            else:
+                index_of = {
+                    fact: index for index, fact in enumerate(self._fact_order())
+                }
+                masks = [
+                    sum(1 << index_of[f] for f in sample) for sample in materialized
+                ]
             self._document["samples"] = [
-                _encode_sample(s, index_of) for s in materialized
+                _mask_to_words(mask, words) for mask in masks
             ]
-        state = self._rng.getstate()
-        self._document["rng_state"] = [state[0], list(state[1]), state[2]]
+            self._document["batch"] = None
+            state = self._rng.getstate()
+            self._document["rng_state"] = [state[0], list(state[1]), state[2]]
+        self._document["backend"] = backend
         self._dirty = True
 
 

@@ -118,6 +118,7 @@ def _freeze(value: Any) -> Constant:
 _GENERATORS_BY_NAME = {generator.name: generator for generator in ALL_GENERATORS}
 _WORKLOAD_METHODS = ("auto", "fixed", "dklr")
 _WORKLOAD_MODES = ("fixed", "adaptive")
+_WORKLOAD_BACKENDS = ("auto", "vector", "scalar")
 
 
 @dataclass(frozen=True)
@@ -125,14 +126,17 @@ class WorkloadSpec:
     """A parsed workload: the request rows plus execution options.
 
     ``mode`` selects the estimation strategy (``"fixed"`` classical
-    estimators, ``"adaptive"`` sequential early stopping) and ``cache_dir``
-    names a persistent :class:`~repro.engine.store.CacheStore` directory;
-    both default to CLI-flag overridable values.
+    estimators, ``"adaptive"`` sequential early stopping), ``cache_dir``
+    names a persistent :class:`~repro.engine.store.CacheStore` directory,
+    and ``backend`` pins the sample plane (``"auto"`` | ``"vector"`` |
+    ``"scalar"`` — pin one for reproducibility across machines with and
+    without numpy); all default to CLI-flag overridable values.
     """
 
     requests: list = field(default_factory=list)
     mode: str = "fixed"
     cache_dir: str | None = None
+    backend: str = "auto"
 
 
 def workload_spec_from_dict(
@@ -156,7 +160,14 @@ def workload_spec_from_dict(
             raise InstanceFormatError("'cache_dir' must be a path string")
         if base_dir is not None and not os.path.isabs(cache_dir):
             cache_dir = os.path.join(base_dir, cache_dir)
-    return WorkloadSpec(requests=requests, mode=mode, cache_dir=cache_dir)
+    backend = document.get("backend", "auto")
+    if backend not in _WORKLOAD_BACKENDS:
+        raise InstanceFormatError(
+            f"unknown backend {backend!r}; choose from {_WORKLOAD_BACKENDS}"
+        )
+    return WorkloadSpec(
+        requests=requests, mode=mode, cache_dir=cache_dir, backend=backend
+    )
 
 
 def load_workload_spec(path: str) -> WorkloadSpec:

@@ -1,4 +1,10 @@
-"""Polynomial-time samplers (Lemmas 5.2, 6.2, 7.2, E.2, E.9, D.7)."""
+"""Polynomial-time samplers (Lemmas 5.2, 6.2, 7.2, E.2, E.9, D.7).
+
+Scalar draw paths live in the per-sampler modules; the batched numpy
+plane (packed bitset matrices, Lemma 5.2/6.2 in whole batches) lives in
+:mod:`repro.sampling.vectorized` and is optional — :data:`HAVE_NUMPY`
+reports whether it can run here.
+"""
 
 from .operations_sampler import (
     UniformOperationsSampler,
@@ -6,14 +12,24 @@ from .operations_sampler import (
     sample_uniform_operations_repair,
 )
 from .repair_sampler import RepairSampler, sample_candidate_repair
-from .rng import resolve_rng, uniform_choice, weighted_choice
+from .rng import (
+    HAVE_NUMPY,
+    CumulativeWeights,
+    numpy_substream,
+    resolve_rng,
+    uniform_choice,
+    weighted_choice,
+)
 from .sequence_sampler import SequenceSampler, sample_complete_sequence
 
 __all__ = [
+    "CumulativeWeights",
+    "HAVE_NUMPY",
     "RepairSampler",
     "SequenceSampler",
     "UniformOperationsSampler",
     "WalkResult",
+    "numpy_substream",
     "resolve_rng",
     "sample_candidate_repair",
     "sample_complete_sequence",

@@ -45,9 +45,9 @@ from ..core.sequences import RepairingSequence
 from ..counting.crs_count import (
     count_crs1_for_block_sizes,
     count_crs_for_block_sizes,
-    sequence_step_weights,
+    sequence_step_cumulative,
 )
-from .rng import resolve_rng, uniform_choice, weighted_choice
+from .rng import resolve_rng, uniform_choice
 
 
 def _pair_from_rank(rank: int, size: int) -> tuple[int, int]:
@@ -130,16 +130,10 @@ class SequenceSampler:
             if not active:
                 break
             sizes = tuple(len(blocks[position]) for position in active)
-            categories, weights, total = sequence_step_weights(
+            categories, cumulative = sequence_step_cumulative(
                 sizes, self.singleton_only
             )
-            pick = rng.randrange(total)
-            cumulative = 0
-            for category, weight in zip(categories, weights):
-                cumulative += weight
-                if pick < cumulative:
-                    position, kind = category
-                    break
+            position, kind = categories[cumulative.pick(rng)]
             block = blocks[active[position]]
             size = len(block)
             if kind == "single":
@@ -169,8 +163,10 @@ class SequenceSampler:
             if not active:
                 break
             sizes = tuple(len(blocks[index]) for index in active)
-            categories, weights, _ = sequence_step_weights(sizes, self.singleton_only)
-            position, kind = weighted_choice(categories, weights, self.rng)
+            categories, cumulative = sequence_step_cumulative(
+                sizes, self.singleton_only
+            )
+            position, kind = cumulative.choice(categories, self.rng)
             block = blocks[active[position]]
             if kind == "single":
                 victim = uniform_choice(block, self.rng)

@@ -266,8 +266,10 @@ class TestBatchAdaptiveMode:
         session = EstimationSession(first.database, first.constraints, first.generator)
         from repro.engine.batch import _group_seed
 
+        # The planner builds its pool via pool_for_seed (vector plane when
+        # numpy is available); mirror it exactly.
         expected = session.estimate_adaptive_many(
-            session.pool(random.Random(_group_seed(37, 0))),
+            session.pool_for_seed(_group_seed(37, 0)),
             [(r.query, r.answer, r.epsilon, r.delta, r.max_samples) for r in requests],
         )
         assert [r.result for r in results] == expected

@@ -207,10 +207,13 @@ class TestKernelOnOffParity:
     @given(instance=instances, seed=seeds)
     @settings(max_examples=10, deadline=None)
     def test_batch_estimate_matches_with_kernel_on_and_off(self, instance, seed):
+        # Pinned to the scalar plane: use_kernel=False has no vector path,
+        # so the kernel on/off contract is a statement about one plane
+        # (the vector plane's own parity lives in tests/test_vectorized.py).
         database, constraints = instance
         requests = self.batch_requests(database, constraints)
-        on = batch_estimate(requests, seed=seed, use_kernel=True)
-        off = batch_estimate(requests, seed=seed, use_kernel=False)
+        on = batch_estimate(requests, seed=seed, use_kernel=True, backend="scalar")
+        off = batch_estimate(requests, seed=seed, use_kernel=False, backend="scalar")
         assert [r.result for r in on] == [r.result for r in off]
         assert [r.error for r in on] == [r.error for r in off]
 
@@ -219,16 +222,28 @@ class TestKernelOnOffParity:
     def test_kernel_parity_through_a_warm_cache_store(self, instance, seed):
         database, constraints = instance
         requests = self.batch_requests(database, constraints)
-        plain = batch_estimate(requests, seed=seed)
+        plain = batch_estimate(requests, seed=seed, backend="scalar")
         with tempfile.TemporaryDirectory() as cache_dir:
             cold_on = batch_estimate(
-                requests, seed=seed, cache_dir=cache_dir, use_kernel=True
+                requests,
+                seed=seed,
+                cache_dir=cache_dir,
+                use_kernel=True,
+                backend="scalar",
             )
             warm_off = batch_estimate(
-                requests, seed=seed, cache_dir=cache_dir, use_kernel=False
+                requests,
+                seed=seed,
+                cache_dir=cache_dir,
+                use_kernel=False,
+                backend="scalar",
             )
             warm_on = batch_estimate(
-                requests, seed=seed, cache_dir=cache_dir, use_kernel=True
+                requests,
+                seed=seed,
+                cache_dir=cache_dir,
+                use_kernel=True,
+                backend="scalar",
             )
         for results in (cold_on, warm_off, warm_on):
             assert [r.result for r in results] == [r.result for r in plain]

@@ -207,8 +207,20 @@ class TestCorruption:
         baseline = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
         return requests, baseline, entry_path(tmp_path), str(tmp_path)
 
-    def rerun_and_compare(self, requests, baseline, cache_dir):
-        damaged = batch_estimate(requests, seed=7, cache_dir=cache_dir)
+    @pytest.fixture
+    def populated_scalar(self, tmp_path):
+        # The rng_state damage modes are scalar-plane concerns (vector
+        # entries resume by batch index and persist no RNG state at all).
+        requests = fig2_requests()
+        baseline = batch_estimate(
+            requests, seed=7, cache_dir=str(tmp_path), backend="scalar"
+        )
+        return requests, baseline, entry_path(tmp_path), str(tmp_path)
+
+    def rerun_and_compare(self, requests, baseline, cache_dir, backend="auto"):
+        damaged = batch_estimate(
+            requests, seed=7, cache_dir=cache_dir, backend=backend
+        )
         assert [r.result for r in damaged] == [r.result for r in baseline]
 
     def test_truncated_file(self, populated):
@@ -282,12 +294,12 @@ class TestCorruption:
             for index in row
         )
 
-    def test_malformed_rng_state(self, populated):
-        requests, baseline, path, cache_dir = populated
+    def test_malformed_rng_state(self, populated_scalar):
+        requests, baseline, path, cache_dir = populated_scalar
         document = json.load(open(path))
         document["rng_state"] = ["bogus"]
         json.dump(document, open(path, "w"))
-        self.rerun_and_compare(requests, baseline, cache_dir)
+        self.rerun_and_compare(requests, baseline, cache_dir, backend="scalar")
 
     def test_wrong_field_types(self, populated):
         requests, baseline, path, cache_dir = populated
@@ -312,27 +324,39 @@ class TestCorruption:
     def test_corrupt_samples_are_discarded_and_entry_rewritten(self, populated):
         # Even when the recovery run draws *fewer* samples than the corrupt
         # record held, the damage must not be preserved — the rewritten
-        # entry warms the third run.
+        # entry warms the third run.  (fig2 has 6 facts, so a valid row is
+        # one word with no bits at position 6 or above.)
         requests, baseline, path, cache_dir = populated
         document = json.load(open(path))
-        document["samples"][0] = [0, 999999]
+        document["samples"][0] = [0, 999999]  # wrong row width
         json.dump(document, open(path, "w"))
         self.rerun_and_compare(requests, baseline, cache_dir)
         rewritten = json.load(open(entry_path(cache_dir)))
         assert all(
-            all(isinstance(i, int) and i < 6 for i in row)
+            len(row) == 1 and isinstance(row[0], int) and 0 <= row[0] < 2**6
             for row in rewritten["samples"]
         )
         assert rewritten["samples"]  # the clean stream was re-persisted
 
-    def test_shape_valid_but_meaningless_rng_state(self, populated):
+    def test_sample_bits_beyond_the_instance_rejected(self, populated):
+        # A shape-valid word with bits past the fact count is corruption,
+        # not a bigger database.
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document["samples"][0] = [1 << 6]
+        json.dump(document, open(path, "w"))
+        self.rerun_and_compare(requests, baseline, cache_dir)
+        rewritten = json.load(open(entry_path(cache_dir)))
+        assert all(row[0] < 2**6 for row in rewritten["samples"])
+
+    def test_shape_valid_but_meaningless_rng_state(self, populated_scalar):
         # Out-of-range state ints pass the shape check but make setstate
         # raise from the C layer (OverflowError) — must degrade, not crash.
-        requests, baseline, path, cache_dir = populated
+        requests, baseline, path, cache_dir = populated_scalar
         document = json.load(open(path))
         document["rng_state"][1] = [2**64] * len(document["rng_state"][1])
         json.dump(document, open(path, "w"))
-        self.rerun_and_compare(requests, baseline, cache_dir)
+        self.rerun_and_compare(requests, baseline, cache_dir, backend="scalar")
 
     def test_non_json_constants_never_discard_results(self, tmp_path):
         # Fact constants are any hashable; Decimal values make the entry
@@ -376,14 +400,14 @@ class TestCorruption:
         plain = batch_estimate(requests, seed=7)
         assert [r.result for r in results] == [r.result for r in plain]
 
-    def test_rng_state_corruption_discards_stale_samples(self, populated):
-        # Samples without a usable post-draw RNG state cannot be extended
-        # consistently; they must be dropped and re-persisted cleanly.
-        requests, baseline, path, cache_dir = populated
+    def test_rng_state_corruption_discards_stale_samples(self, populated_scalar):
+        # Scalar samples without a usable post-draw RNG state cannot be
+        # extended consistently; they must be dropped and re-persisted.
+        requests, baseline, path, cache_dir = populated_scalar
         document = json.load(open(path))
         document["rng_state"] = None  # state lost, samples left behind
         json.dump(document, open(path, "w"))
-        self.rerun_and_compare(requests, baseline, cache_dir)
+        self.rerun_and_compare(requests, baseline, cache_dir, backend="scalar")
         rewritten = json.load(open(entry_path(cache_dir)))
         assert rewritten["rng_state"] is not None
 
@@ -404,7 +428,34 @@ class TestWorkloadSpecAndCli:
     def test_spec_defaults(self):
         spec = workload_spec_from_dict(self.workload_document())
         assert spec.mode == "fixed" and spec.cache_dir is None
+        assert spec.backend == "auto"
         assert len(spec.requests) == 3
+
+    def test_spec_backend_parsed_and_validated(self):
+        spec = workload_spec_from_dict(self.workload_document(backend="scalar"))
+        assert spec.backend == "scalar"
+        with pytest.raises(InstanceFormatError, match="unknown backend"):
+            workload_spec_from_dict(self.workload_document(backend="turbo"))
+
+    def test_cli_backend_flag_overrides_workload_field(self, tmp_path, capsys):
+        from repro.sampling.rng import HAVE_NUMPY
+
+        workload = tmp_path / "workload.json"
+        workload.write_text(json.dumps(self.workload_document(backend="scalar")))
+        # The workload's field applies when no flag is given ...
+        assert main(["batch", str(workload), "--seed", "7"]) == 0
+        pinned_scalar = capsys.readouterr().out
+        assert main(["batch", str(workload), "--seed", "7", "--backend", "scalar"]) == 0
+        assert capsys.readouterr().out == pinned_scalar
+        if HAVE_NUMPY:
+            # ... and the flag overrides it: a vector-pinned workload run
+            # with --backend scalar reproduces the scalar stream exactly.
+            workload.write_text(json.dumps(self.workload_document(backend="vector")))
+            assert (
+                main(["batch", str(workload), "--seed", "7", "--backend", "scalar"])
+                == 0
+            )
+            assert capsys.readouterr().out == pinned_scalar
 
     def test_spec_fields_parsed_and_cache_dir_resolved(self, tmp_path):
         document = self.workload_document(mode="adaptive", cache_dir="cache")

@@ -1,0 +1,570 @@
+"""Vectorized sample plane: decode parity, store v3 round trips, fallback.
+
+The vector plane's contract is *plane-internal determinism plus exactness
+of everything downstream of the draw*: outcome matrices decoded through
+the scalar mask construction must equal the packed rows bit-for-bit, hit
+counting over packed rows must equal scalar hit counting, store v3
+entries must replay vector runs exactly (and v2 entries must upgrade
+without losing their scalar stream), and everything must degrade to the
+scalar kernel when numpy is absent.
+"""
+
+import json
+import os
+import random
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chains.generators import M_UR, M_UR1, M_US, M_US1
+from repro.core import Database, FDSet, Schema, fact, fd
+from repro.core.queries import atom, cq, var
+from repro.counting.crs_count import (
+    aggregated_step_weights,
+    sequence_step_cumulative,
+    sequence_step_weights,
+)
+from repro.engine import (
+    DEFAULT_BATCH_SIZE,
+    BatchRequest,
+    EstimationSession,
+    SamplePool,
+    batch_estimate,
+)
+from repro.sampling.rng import HAVE_NUMPY, CumulativeWeights, weighted_choice
+from repro.sampling import vectorized
+from repro.workloads import figure2_database
+
+x, y = var("x"), var("y")
+
+EPSILON, DELTA = 0.5, 0.2
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+BLOCK_GENERATORS = [M_UR, M_UR1, M_US, M_US1]
+
+
+def pk_instance(pairs) -> tuple[Database, FDSet]:
+    """A primary-key instance over R(A, B) with key A → B."""
+    schema = Schema.from_spec({"R": ["A", "B"]})
+    database = Database(
+        [fact("R", f"a{a}", f"b{b}") for a, b in pairs], schema=schema
+    )
+    return database, FDSet(schema, [fd("R", "A", "B")])
+
+
+instances = st.builds(
+    pk_instance,
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 4)),
+        min_size=0,
+        max_size=12,
+        unique=True,
+    ),
+)
+seeds = st.integers(0, 2**32 - 1)
+
+
+def fig2_requests(generator=M_UR):
+    database, constraints = figure2_database()
+    query = cq((x,), (atom("R", x, y),))
+    return [
+        BatchRequest(
+            database,
+            constraints,
+            generator,
+            query,
+            answer=c,
+            epsilon=EPSILON,
+            delta=DELTA,
+        )
+        for c in sorted(query.answers(database), key=repr)
+    ]
+
+
+class TestCumulativeWeights:
+    def test_matches_weighted_choice_stream_and_result(self):
+        items = ["a", "b", "c", "d"]
+        weights = [3, 1, 0, 5]
+        table = CumulativeWeights(weights)
+        one, two = random.Random(9), random.Random(9)
+        for _ in range(200):
+            assert table.choice(items, one) == weighted_choice(items, weights, two)
+        assert one.getstate() == two.getstate()
+
+    def test_rejects_degenerate_tables(self):
+        with pytest.raises(ValueError):
+            CumulativeWeights([])
+        with pytest.raises(ValueError):
+            CumulativeWeights([0, 0])
+        with pytest.raises(ValueError):
+            CumulativeWeights([1]).choice(["a", "b"], random.Random(0))
+
+    def test_sequence_step_cumulative_mirrors_weights(self):
+        for sizes in [(2,), (3,), (3, 2), (2, 2, 3)]:
+            for singleton in (False, True):
+                categories, cumulative = sequence_step_cumulative(sizes, singleton)
+                reference, weights, total = sequence_step_weights(sizes, singleton)
+                assert categories == reference
+                assert cumulative.total == total
+                assert list(cumulative.cumulative) == [
+                    sum(weights[: i + 1]) for i in range(len(weights))
+                ]
+
+
+class TestAggregatedWeights:
+    def test_aggregation_matches_per_position_table(self):
+        from collections import Counter
+
+        for sizes in [(2,), (3,), (3, 2), (3, 3), (2, 3, 3), (2, 2, 2, 3)]:
+            for singleton in (False, True):
+                categories, weights, total = sequence_step_weights(sizes, singleton)
+                by_class: dict[tuple[int, int], int] = {}
+                for (position, kind), weight in zip(categories, weights):
+                    key = (sizes[position], 1 if kind == "single" else 2)
+                    by_class[key] = by_class.get(key, 0) + weight
+                size_counts = tuple(sorted(Counter(sizes).items()))
+                agg_categories, agg_weights, agg_total = aggregated_step_weights(
+                    size_counts, singleton
+                )
+                assert agg_total == total
+                assert {
+                    (size, removed): weight
+                    for (size, removed, _), weight in zip(agg_categories, agg_weights)
+                } == by_class
+                # Every category's live-block count is the multiset count.
+                assert all(
+                    count == dict(size_counts)[size]
+                    for size, _, count in agg_categories
+                )
+
+    @needs_numpy
+    def test_float_cumulative_probabilities_are_correctly_rounded(self):
+        from fractions import Fraction
+
+        from repro.sampling.vectorized import _cumulative_probabilities
+
+        size_counts = ((2, 3), (3, 5))
+        categories, probabilities = _cumulative_probabilities(size_counts)
+        _, weights, total = aggregated_step_weights(size_counts)
+        running = 0
+        for probability, weight in zip(probabilities, weights):
+            running += weight
+            exact = Fraction(running, total)
+            assert probability == float(exact)
+            assert abs(probability - exact) <= Fraction(1, 2**52)
+        assert probabilities[-1] == 1.0
+
+
+@needs_numpy
+class TestDecodeParity:
+    """Packed rows, outcome decode, and hit flags all agree bit-for-bit."""
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_repair_plane_scatter_matches_scalar_decode(self, instance, seed):
+        database, constraints = instance
+        session = EstimationSession(database, constraints, M_UR)
+        for singleton in (False, True):
+            plane = vectorized.VectorRepairPlane(session.index(), singleton, seed)
+            outcomes, rows = plane.draw_batch(0, 64)
+            assert vectorized.unpack_rows(rows) == plane.decode_masks(outcomes)
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_sequence_plane_scatter_matches_scalar_decode(self, instance, seed):
+        database, constraints = instance
+        session = EstimationSession(database, constraints, M_US)
+        for singleton in (False, True):
+            plane = vectorized.VectorSequencePlane(session.index(), singleton, seed)
+            outcomes, rows = plane.draw_batch(0, 64)
+            masks = vectorized.unpack_rows(rows)
+            assert masks == plane.decode_masks(outcomes)
+            # Sequence invariants: a block survives with exactly one fact
+            # or (pairs allowed) none; singleton mode never empties one.
+            for mask in masks:
+                for block in session.index().conflicting_block_ids():
+                    survivors = sum(1 for identifier in block if mask >> identifier & 1)
+                    assert survivors == 1 or (not singleton and survivors == 0)
+
+    @given(instance=instances, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_batched_hit_flags_match_scalar_hit_tests(self, instance, seed):
+        database, constraints = instance
+        session = EstimationSession(database, constraints, M_UR)
+        plane = vectorized.VectorRepairPlane(session.index(), False, seed)
+        _, rows = plane.draw_batch(0, 64)
+        masks = vectorized.unpack_rows(rows)
+        rng = random.Random(seed)
+        n = len(session.index())
+        singles = rng.getrandbits(n) if n else 0
+        complexes = tuple(
+            mask
+            for mask in (rng.getrandbits(n) for _ in range(3))
+            if mask and mask & (mask - 1)
+        )
+        for always in (False, True):
+            flags = vectorized.batch_hit_flags(rows, singles, complexes, always)
+            expected = [
+                always
+                or bool(mask & singles)
+                or any(w & mask == w for w in complexes)
+                for mask in masks
+            ]
+            assert list(flags) == expected
+
+    def test_state_grouping_paths_agree(self):
+        # The bit-packed fast path and the row-wise fallback must group
+        # identically (the fallback guards >63-bit states).
+        import numpy as np
+
+        database, constraints = pk_instance([(a, b) for a in range(4) for b in range(3)])
+        session = EstimationSession(database, constraints, M_US)
+        plane = vectorized.VectorSequencePlane(session.index(), False, 1)
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, plane.n_blocks + 1, size=(100, 2))
+        fast_states, fast_membership = plane._group_states(counts)
+        slow_states, slow_membership = np.unique(counts, axis=0, return_inverse=True)
+        assert {tuple(map(int, s)) for s in fast_states} == {
+            tuple(map(int, s)) for s in slow_states
+        }
+        # Same rows grouped together, whatever the representative order.
+        fast_of_row = [tuple(map(int, fast_states[m])) for m in fast_membership]
+        slow_of_row = [tuple(map(int, slow_states[m])) for m in slow_membership.reshape(-1)]
+        assert fast_of_row == slow_of_row
+
+    def test_sequence_plane_on_wide_deep_instances(self):
+        # Many blocks of large size: exercises the live-size state keying
+        # far beyond what the hypothesis instances reach (a previous
+        # integer encoding of the state could overflow and collide here).
+        pairs = [(a, b) for a in range(24) for b in range(10)]
+        database, constraints = pk_instance(pairs)
+        session = EstimationSession(database, constraints, M_US)
+        plane = vectorized.VectorSequencePlane(session.index(), False, 5)
+        outcomes, rows = plane.draw_batch(0, 48)
+        masks = vectorized.unpack_rows(rows)
+        assert masks == plane.decode_masks(outcomes)
+        for mask in masks:
+            for block in session.index().conflicting_block_ids():
+                survivors = sum(1 for identifier in block if mask >> identifier & 1)
+                assert survivors <= 1
+
+    @pytest.mark.parametrize("generator", BLOCK_GENERATORS, ids=lambda g: g.name)
+    def test_vector_estimates_equal_decode_parity_recount(self, generator):
+        """The acceptance harness: estimates from the packed plane equal
+        estimates recomputed from the decoded outcome matrices."""
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        candidates = sorted(query.answers(database), key=repr)
+        samples = 2 * DEFAULT_BATCH_SIZE
+
+        session = EstimationSession(database, constraints, generator)
+        pool = session.vector_pool(17)
+        vector_estimates = [
+            session.fixed_budget_pooled(pool, query, c, samples=samples).estimate
+            for c in candidates
+        ]
+
+        replay = EstimationSession(database, constraints, generator)
+        plane = replay.vector_plane(17)
+        masks: list[int] = []
+        batch = 0
+        while len(masks) < samples:
+            outcomes, _ = plane.draw_batch(batch, DEFAULT_BATCH_SIZE)
+            masks.extend(plane.decode_masks(outcomes))
+            batch += 1
+        masks = masks[:samples]
+        decoded_estimates = [
+            sum(
+                1
+                for mask in masks
+                if any(
+                    w & mask == w for w in replay.witness_masks(query, candidate)
+                )
+            )
+            / samples
+            for candidate in candidates
+        ]
+        assert vector_estimates == decoded_estimates
+
+
+@needs_numpy
+class TestVectorPools:
+    def test_accessors_agree_with_packed_rows(self):
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, M_UR)
+        pool = session.vector_pool(3, batch_size=8)
+        prefix = pool.mask_prefix(20)
+        assert len(pool) == 24  # whole batches
+        assert vectorized.unpack_rows(pool.packed_prefix(20)) == list(prefix)
+        assert [pool.mask_at(i) for i in range(20)] == list(prefix)
+        index = session.index()
+        assert [pool.sample_at(i) for i in range(5)] == [
+            index.facts_of_mask(mask) for mask in prefix[:5]
+        ]
+
+    def test_prefix_views_are_cached_until_growth(self):
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, M_UR)
+        for pool in (session.vector_pool(3), session.pool(random.Random(3))):
+            first = pool.mask_prefix(10)
+            assert pool.mask_prefix(10) is first  # no rebuild, no redraw
+            assert pool.mask_prefix(4) == first[:4]
+            longer = pool.mask_prefix(12)
+            assert longer[:10] == first
+            facts_view = pool.prefix(6)
+            assert pool.prefix(6) is facts_view
+
+    def test_same_seed_same_stream_regardless_of_growth_pattern(self):
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, M_US)
+        eager = session.vector_pool(11, batch_size=16)
+        lazy = session.vector_pool(11, batch_size=16)
+        eager.ensure(48)
+        for position in (0, 7, 31, 40):
+            assert lazy.mask_at(position) == eager.mask_at(position)
+
+    def test_pool_requires_exactly_one_backing(self):
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, M_UR)
+        with pytest.raises(TypeError):
+            SamplePool()
+        with pytest.raises(TypeError):
+            SamplePool(draw=lambda: 0, plane=session.vector_plane(1), index=session.index())
+        with pytest.raises(TypeError):
+            SamplePool(plane=session.vector_plane(1))
+
+
+@needs_numpy
+class TestBackendResolution:
+    def test_auto_prefers_vector_for_block_generators(self):
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, M_UR)
+        assert session.resolved_backend() == "vector"
+        assert session.pool_for_seed(5).backend == "vector"
+
+    def test_kernel_off_and_walk_generators_stay_scalar(self):
+        from repro.chains.generators import M_UO
+
+        database, constraints = figure2_database()
+        no_kernel = EstimationSession(database, constraints, M_UR, use_kernel=False)
+        assert no_kernel.resolved_backend() == "scalar"
+        walk = EstimationSession(database, constraints, M_UO)
+        assert walk.resolved_backend() == "scalar"
+        with pytest.raises(ValueError, match="vector"):
+            EstimationSession(
+                database, constraints, M_UO, backend="vector"
+            ).resolved_backend()
+
+    def test_unknown_backend_rejected_everywhere(self):
+        database, constraints = figure2_database()
+        with pytest.raises(ValueError, match="backend"):
+            EstimationSession(database, constraints, M_UR, backend="turbo")
+        with pytest.raises(ValueError, match="backend"):
+            batch_estimate(fig2_requests(), seed=1, backend="turbo")
+
+    def test_rng_driven_pools_keep_the_scalar_plane(self):
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, M_UR)
+        assert session.pool(random.Random(1)).backend == "scalar"
+
+
+class TestScalarFallback:
+    """Behaviour with numpy unavailable (simulated)."""
+
+    def test_auto_degrades_to_scalar_without_numpy(self, monkeypatch):
+        monkeypatch.setattr("repro.engine.session.HAVE_NUMPY", False)
+        database, constraints = figure2_database()
+        session = EstimationSession(database, constraints, M_UR)
+        assert session.resolved_backend() == "scalar"
+        results = batch_estimate(fig2_requests(), seed=7)
+        reference = batch_estimate(fig2_requests(), seed=7, backend="scalar")
+        assert [r.result for r in results] == [r.result for r in reference]
+
+    def test_explicit_vector_backend_reports_actionable_error(self, monkeypatch):
+        monkeypatch.setattr("repro.engine.session.HAVE_NUMPY", False)
+        results = batch_estimate(fig2_requests(), seed=7, backend="vector")
+        assert all(not r.ok for r in results)
+        assert all("repro-uocqa[fast]" in r.error for r in results)
+
+
+@needs_numpy
+class TestStoreV3:
+    def entry_document(self, cache_dir):
+        (name,) = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+        with open(os.path.join(cache_dir, name)) as handle:
+            return json.load(handle), os.path.join(cache_dir, name)
+
+    def test_vector_entries_round_trip_warm(self, tmp_path):
+        requests = fig2_requests()
+        cold = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        document, _ = self.entry_document(str(tmp_path))
+        assert document["version"] == 3
+        assert document["backend"] == "vector"
+        assert document["batch"] == DEFAULT_BATCH_SIZE
+        assert document["rng_state"] is None
+        assert len(document["samples"]) % DEFAULT_BATCH_SIZE == 0
+        warm = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        plain = batch_estimate(requests, seed=7)
+        assert [r.result for r in warm] == [r.result for r in cold]
+        assert [r.result for r in plain] == [r.result for r in cold]
+
+    def test_warm_vector_run_draws_nothing_anew(self, tmp_path, monkeypatch):
+        requests = fig2_requests()
+        batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        calls = []
+        original = vectorized._BlockPlane.draw_batch
+
+        def counting(self, batch_index, size):
+            calls.append(batch_index)
+            return original(self, batch_index, size)
+
+        monkeypatch.setattr(vectorized._BlockPlane, "draw_batch", counting)
+        warm = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        assert all(r.ok for r in warm)
+        assert calls == []  # the whole prefix came from disk
+
+    def test_foreign_batch_size_discards_and_recovers(self, tmp_path):
+        requests = fig2_requests()
+        baseline = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        document, path = self.entry_document(str(tmp_path))
+        document["batch"] = DEFAULT_BATCH_SIZE + 1
+        json.dump(document, open(path, "w"))
+        damaged = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        assert [r.result for r in damaged] == [r.result for r in baseline]
+        rewritten, _ = self.entry_document(str(tmp_path))
+        assert rewritten["batch"] == DEFAULT_BATCH_SIZE
+
+    def test_v2_entries_upgrade_keeping_the_scalar_stream(self, tmp_path):
+        requests = fig2_requests()
+        scalar = batch_estimate(
+            requests, seed=7, cache_dir=str(tmp_path), backend="scalar"
+        )
+        document, path = self.entry_document(str(tmp_path))
+        assert document["backend"] == "scalar"
+        # Rewrite the entry in the v2 format: id rows + rng_state.
+        v2 = {
+            "version": 2,
+            "decomposition": document["decomposition"],
+            "possibility": document["possibility"],
+            "bounds": document["bounds"],
+            "samples": [
+                [i for i in range(6) if row[0] >> i & 1]
+                for row in document["samples"]
+            ],
+            "rng_state": document["rng_state"],
+        }
+        json.dump(v2, open(path, "w"))
+        # An auto-backend warm run honors the upgraded scalar stream
+        # (numpy present notwithstanding) and replays it bit-for-bit.
+        warm = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        assert [r.result for r in warm] == [r.result for r in scalar]
+        upgraded, _ = self.entry_document(str(tmp_path))
+        assert upgraded["version"] == 3
+        assert upgraded["backend"] == "scalar"
+        assert upgraded["samples"] == document["samples"]
+        assert upgraded["rng_state"] is not None
+
+    def test_v2_upgrade_with_corrupt_rows_degrades_to_empty(self, tmp_path):
+        requests = fig2_requests()
+        baseline = batch_estimate(
+            requests, seed=7, cache_dir=str(tmp_path), backend="scalar"
+        )
+        document, path = self.entry_document(str(tmp_path))
+        v2 = {
+            "version": 2,
+            "decomposition": document["decomposition"],
+            "possibility": document["possibility"],
+            "bounds": document["bounds"],
+            "samples": [[0, 999999]],  # out-of-range v2 id
+            "rng_state": document["rng_state"],
+        }
+        json.dump(v2, open(path, "w"))
+        recovered = batch_estimate(
+            requests, seed=7, cache_dir=str(tmp_path), backend="scalar"
+        )
+        assert [r.result for r in recovered] == [r.result for r in baseline]
+
+    def test_explicit_vector_discards_a_scalar_prefix(self, tmp_path):
+        requests = fig2_requests()
+        batch_estimate(requests, seed=7, cache_dir=str(tmp_path), backend="scalar")
+        vector = batch_estimate(
+            requests, seed=7, cache_dir=str(tmp_path), backend="vector"
+        )
+        plain = batch_estimate(requests, seed=7, backend="vector")
+        assert [r.result for r in vector] == [r.result for r in plain]
+        rewritten, _ = self.entry_document(str(tmp_path))
+        assert rewritten["backend"] == "vector"
+
+    def test_explicit_scalar_discards_a_vector_prefix(self, tmp_path):
+        requests = fig2_requests()
+        batch_estimate(requests, seed=7, cache_dir=str(tmp_path), backend="vector")
+        scalar = batch_estimate(
+            requests, seed=7, cache_dir=str(tmp_path), backend="scalar"
+        )
+        plain = batch_estimate(requests, seed=7, backend="scalar")
+        assert [r.result for r in scalar] == [r.result for r in plain]
+
+
+@needs_numpy
+class TestVectorEstimationParity:
+    """Fixed, dklr, adaptive: batched evaluation equals per-position logic."""
+
+    @pytest.mark.parametrize("generator", BLOCK_GENERATORS, ids=lambda g: g.name)
+    def test_pooled_paths_agree_on_one_vector_pool(self, generator):
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        candidates = sorted(query.answers(database), key=repr)
+        session = EstimationSession(database, constraints, generator)
+        pool = session.vector_pool(23)
+        fixed = [
+            session.estimate_pooled(
+                pool, query, c, epsilon=EPSILON, delta=DELTA, method="fixed"
+            )
+            for c in candidates
+        ]
+        # A twin session re-reads the same pool with the stopping rule and
+        # the adaptive scheduler; all three must see the same hit stream.
+        dklr = [
+            session.estimate_pooled(
+                pool, query, c, epsilon=EPSILON, delta=DELTA, method="dklr"
+            )
+            for c in candidates
+        ]
+        adaptive = session.estimate_adaptive_many(
+            pool, [(query, c, EPSILON, DELTA, None) for c in candidates]
+        )
+        for position, candidate in enumerate(candidates):
+            masks = session.witness_masks(query, candidate)
+            reference = [
+                any(w & pool.mask_at(i) == w for w in masks)
+                for i in range(fixed[position].samples_used)
+            ]
+            expected = sum(reference) / len(reference)
+            assert fixed[position].estimate == expected
+            assert 0 <= dklr[position].estimate <= 1
+            assert adaptive[position].samples_used <= len(pool)
+
+    def test_estimate_many_modes_are_reproducible_on_vector_pools(self):
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        requests = [(query, c) for c in sorted(query.answers(database), key=repr)]
+        session = EstimationSession(database, constraints, M_UR)
+        for mode in ("fixed", "adaptive"):
+            first = session.estimate_many(
+                requests,
+                epsilon=EPSILON,
+                delta=DELTA,
+                pool=session.vector_pool(29),
+                mode=mode,
+            )
+            second = session.estimate_many(
+                requests,
+                epsilon=EPSILON,
+                delta=DELTA,
+                pool=session.vector_pool(29),
+                mode=mode,
+            )
+            assert first == second
