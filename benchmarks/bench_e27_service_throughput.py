@@ -1,0 +1,206 @@
+"""E27 — Warm-registry service throughput vs per-request cold starts.
+
+The service plane's pitch (PR 5): every pre-service entry point pays the
+full group setup — decomposition, interning, witness enumeration, and
+above all the Chernoff-budget sampling pass — *per invocation*.  A
+long-running :class:`~repro.service.server.EstimationServer` pays it
+once per group and answers every further request from the warm
+:class:`~repro.service.registry.SessionRegistry`, with concurrent
+requests coalesced into single batched passes by the micro-batcher.
+
+The bench drives one mixed workload three ways:
+
+* **offline serial** — one ``batch_estimate(all, seed)`` run: the
+  bit-identity reference (and the lower bound on useful work);
+* **cold per-request** — ``batch_estimate([r], seed)`` per request: what
+  each entry point costs today without the service;
+* **warm service** — the same requests as concurrent single-request
+  HTTP calls against a :class:`BackgroundServer` from a client thread
+  pool, cold admissions included in the measured time.
+
+Assertions: every served row equals its offline twin **bit-for-bit**
+(estimate, sample count, method — the content-derived group seeds plus
+read-from-zero pools make arrival order irrelevant), the same holds in
+adaptive mode, and warm-service throughput is ≥ 3× the cold path.
+"""
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.chains.generators import M_UR, M_US
+from repro.core.queries import atom, cq, var
+from repro.engine import BatchRequest, batch_estimate
+from repro.io import instance_to_dict
+from repro.service import BackgroundServer, ServiceClient
+from repro.workloads.inconsistency import database_with_inconsistency
+
+from bench_utils import emit
+
+SEED = 27
+DELTA = 0.05
+#: Per-generator accuracy targets, tuned so both planes' per-request
+#: cold cost is dominated by the sampling pass (the thing the warm
+#: registry amortizes), not by fixed setup.
+EPSILON = {M_UR: 0.1, M_US: 0.3}
+INSTANCES = ((36, 0.5), (44, 0.6))
+BLOCK_SIZE = 3
+CLIENT_THREADS = 8
+MIN_SPEEDUP = 3.0
+
+
+def build_mix():
+    """The load mix: every candidate of a per-pair survival query, over
+    two instances and two generators, deterministically shuffled so
+    concurrent clients interleave groups."""
+    x, y = var("x"), var("y")
+    query = cq((x, y), (atom("R", x, y),))
+    requests = []
+    for facts, ratio in INSTANCES:
+        database, constraints = database_with_inconsistency(
+            facts, ratio, block_size=BLOCK_SIZE, rng=random.Random(facts)
+        )
+        candidates = sorted(query.answers(database), key=repr)
+        for generator in (M_UR, M_US):
+            for candidate in candidates:
+                requests.append(
+                    BatchRequest(
+                        database,
+                        constraints,
+                        generator,
+                        query,
+                        answer=candidate,
+                        epsilon=EPSILON[generator],
+                        delta=DELTA,
+                        label=f"inc{facts}",
+                    )
+                )
+    random.Random(SEED).shuffle(requests)
+    return query, requests
+
+
+def run_cold(requests):
+    """Today's entry-point cost: one fresh ``batch_estimate`` per request."""
+    started = time.perf_counter()
+    outcomes = [batch_estimate([request], seed=SEED)[0] for request in requests]
+    return outcomes, time.perf_counter() - started
+
+
+def run_service(server, query, requests):
+    """The same mix as concurrent single-request HTTP calls."""
+
+    def score(request):
+        client = ServiceClient(server.url)
+        return client.estimate(
+            request.database,
+            request.constraints,
+            query,
+            list(request.answer),
+            generator=request.generator.name,
+            epsilon=request.epsilon,
+            delta=request.delta,
+            label=request.label,
+        )
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(CLIENT_THREADS) as executor:
+        rows = list(executor.map(score, requests))
+    return rows, time.perf_counter() - started
+
+
+def assert_rows_match(rows, reference):
+    for row, outcome in zip(rows, reference):
+        assert "error" not in row, row
+        assert row["estimate"] == outcome.result.estimate
+        assert row["samples"] == outcome.result.samples_used
+        assert row["method"] == outcome.result.method
+
+
+def adaptive_parity(server, query, requests):
+    """Adaptive mode over HTTP equals offline adaptive, bit for bit."""
+    subset = [r for r in requests if r.generator is M_UR][:40]
+    offline = batch_estimate(subset, seed=SEED, mode="adaptive")
+    client = ServiceClient(server.url)
+    instances = {}
+    rows_spec = []
+    for request in subset:
+        instances[request.label] = instance_to_dict(
+            request.database, request.constraints
+        )
+        rows_spec.append(
+            {
+                "instance": request.label,
+                "generator": request.generator.name,
+                "query": str(request.query),
+                "answer": list(request.answer),
+                "epsilon": request.epsilon,
+                "delta": request.delta,
+            }
+        )
+    rows = client.estimate_workload(
+        {"mode": "adaptive", "instances": instances, "requests": rows_spec}
+    )
+    assert_rows_match(rows, offline)
+    return len(rows)
+
+
+def compare():
+    query, requests = build_mix()
+    started = time.perf_counter()
+    offline = batch_estimate(requests, seed=SEED)
+    serial_seconds = time.perf_counter() - started
+    assert all(outcome.ok for outcome in offline)
+
+    cold, cold_seconds = run_cold(requests)
+    assert [c.result for c in cold] == [o.result for o in offline]
+
+    with BackgroundServer(seed=SEED) as server:
+        rows, service_seconds = run_service(server, query, requests)
+        assert_rows_match(rows, offline)
+        # Second pass: everything warm, no draws left to amortize.
+        warm_rows, warm_seconds = run_service(server, query, requests)
+        assert_rows_match(warm_rows, offline)
+        adaptive_rows = adaptive_parity(server, query, requests)
+        stats = ServiceClient(server.url).stats()
+    return {
+        "requests": len(requests),
+        "serial_seconds": serial_seconds,
+        "cold_seconds": cold_seconds,
+        "service_seconds": service_seconds,
+        "warm_seconds": warm_seconds,
+        "adaptive_rows": adaptive_rows,
+        "stats": stats,
+    }
+
+
+def test_e27_service_throughput(benchmark):
+    measured = benchmark.pedantic(compare, rounds=1, iterations=1)
+    requests = measured["requests"]
+    speedup = measured["cold_seconds"] / measured["service_seconds"]
+    warm_speedup = measured["cold_seconds"] / measured["warm_seconds"]
+    batching = measured["stats"]["batching"]
+    registry = measured["stats"]["registry"]
+    assert registry["sessions"] == 4  # two instances x two generators
+    assert batching["widest_batch"] >= 2  # concurrency actually coalesced
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm service only {speedup:.1f}x over per-request cold starts "
+        f"({measured['cold_seconds']:.2f}s vs {measured['service_seconds']:.2f}s)"
+    )
+    emit(
+        "E27",
+        requests=requests,
+        groups=registry["sessions"],
+        serial_seconds=round(measured["serial_seconds"], 3),
+        cold_seconds=round(measured["cold_seconds"], 3),
+        service_seconds=round(measured["service_seconds"], 3),
+        warm_seconds=round(measured["warm_seconds"], 3),
+        speedup=round(speedup, 1),
+        warm_speedup=round(warm_speedup, 1),
+        cold_rps=round(requests / measured["cold_seconds"], 1),
+        service_rps=round(requests / measured["service_seconds"], 1),
+        warm_rps=round(requests / measured["warm_seconds"], 1),
+        bit_identical=True,
+        adaptive_rows=measured["adaptive_rows"],
+        coalesced_batches=batching["coalesced_batches"],
+        widest_batch=batching["widest_batch"],
+    )

@@ -12,8 +12,13 @@ Reproduces the paper's positive results as an accuracy/cost study:
    and how ``M_uo,1`` (Theorem 7.5) repairs it.
 
 Run:  python examples/approximation_study.py
+
+Set ``REPRO_EXAMPLE_FAST=1`` to shrink instances and budgets (seconds
+instead of minutes) — the smoke test in ``tests/test_examples.py`` runs
+every example this way so the scripts cannot silently rot.
 """
 
+import os
 import random
 
 from repro import M_UO, M_UO1, M_UR, M_US, atom, boolean_cq
@@ -24,6 +29,9 @@ from repro.exact import exact_ocqa
 from repro.reductions import exact_centre_probability, pathological_instance
 from repro.sampling.operations_sampler import UniformOperationsSampler
 from repro.workloads import multikey_database, random_block_database
+
+#: Fast mode: same study, toy sizes (used by the examples smoke test).
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
 
 
 def primary_key_study() -> None:
@@ -40,7 +48,7 @@ def primary_key_study() -> None:
     for generator in (M_UR, M_US):
         exact = float(exact_ocqa(database, constraints, generator, query))
         print(f"  {generator.name}: exact = {exact:.4f}")
-        for epsilon in (0.5, 0.25, 0.1):
+        for epsilon in (0.5,) if FAST else (0.5, 0.25, 0.1):
             worst_case = chernoff_sample_size(epsilon, 0.05, float(bound))
             result = fpras_ocqa(
                 database, constraints, generator, query,
@@ -59,7 +67,9 @@ def arbitrary_keys_study() -> None:
     print("=" * 72)
     print("2. Arbitrary keys: M_uo stays approximable (Theorem 7.1(2))")
     print("=" * 72)
-    instance = multikey_database(7, max_degree=3, rng=random.Random(77))
+    instance = multikey_database(
+        5 if FAST else 7, max_degree=3, rng=random.Random(77)
+    )
     database, constraints = instance.database, instance.constraints
     print(f"  |D| = {len(database)} facts over R/"
           f"{constraints.schema.relation('R').arity}, {len(constraints)} keys "
@@ -69,7 +79,8 @@ def arbitrary_keys_study() -> None:
     exact = float(exact_ocqa(database, constraints, M_UO, query))
     result = fpras_ocqa(
         database, constraints, M_UO, query,
-        epsilon=0.15, delta=0.05, method="dklr", rng=random.Random(78),
+        epsilon=0.5 if FAST else 0.15, delta=0.05, method="dklr",
+        rng=random.Random(78),
     )
     print(f"  exact P_M_uo = {exact:.4f}; estimate = {result.estimate:.4f} "
           f"({result.samples_used} walks)")
@@ -81,7 +92,7 @@ def pathology_study() -> None:
     print("=" * 72)
     print("3. FDs: the Prop D.6 pathology and the Theorem 7.5 fix")
     print("=" * 72)
-    n = 18
+    n = 8 if FAST else 18
     instance = pathological_instance(n)
     exact = exact_centre_probability(n)
     print(f"  D_{n}: P_M_uo(centre survives) = {float(exact):.2e} "
@@ -89,13 +100,14 @@ def pathology_study() -> None:
     walker = UniformOperationsSampler(
         instance.database, instance.constraints, rng=random.Random(90)
     )
-    walks = 5_000
+    walks = 200 if FAST else 5_000
     hits = sum(1 for _ in range(walks) if instance.query.entails(walker.sample()))
     print(f"  plain M_uo Monte Carlo: {hits} hits in {walks} walks "
           f"-> estimator returns 0 for a positive probability")
     result = fpras_ocqa(
         instance.database, instance.constraints, M_UO1, instance.query,
-        epsilon=0.25, delta=0.1, method="dklr", rng=random.Random(91),
+        epsilon=0.5 if FAST else 0.25, delta=0.1, method="dklr",
+        rng=random.Random(91),
     )
     exact1 = float(
         exact_ocqa(instance.database, instance.constraints, M_UO1, instance.query)

@@ -9,14 +9,21 @@ sources, where exact computation is still feasible block-by-block and the
 FPRAS agrees with it.
 
 Run:  python examples/data_integration.py
+
+Set ``REPRO_EXAMPLE_FAST=1`` to shrink the at-scale section (used by the
+examples smoke test in ``tests/test_examples.py``).
 """
 
+import os
 import random
 from fractions import Fraction
 
 from repro import M_UO, M_UR, M_US, atom, cq, var
 from repro.cqa import operational_consistent_answers
 from repro.workloads import intro_example, merged_sources
+
+#: Fast mode: same pipeline, fewer employees/sources.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
 
 
 def intro() -> None:
@@ -40,10 +47,11 @@ def intro() -> None:
 
 def at_scale() -> None:
     print()
+    employees, sources = (4, 2) if FAST else (12, 3)
     print("=" * 72)
-    print("Merging 3 sources x 12 employees (40% disagreement)")
+    print(f"Merging {sources} sources x {employees} employees (40% disagreement)")
     print("=" * 72)
-    scenario = merged_sources(12, 3, 0.4, random.Random(2024))
+    scenario = merged_sources(employees, sources, 0.4, random.Random(2024))
     i, n = var("i"), var("n")
     print(f"  merged database: {len(scenario.database)} facts, "
           f"consistent = {scenario.constraints.satisfied_by(scenario.database)}")

@@ -8,6 +8,7 @@ Commands operate on JSON instance files (see :mod:`repro.io`):
 * ``sample FILE [options]``              — draw repairs / sequences / walks
 * ``count FILE [--what crs|repairs]``    — polynomial counts (primary keys)
 * ``batch FILE [options]``               — batched estimation over a JSON workload
+* ``serve [options]``                    — the long-running estimation HTTP service
 * ``example NAME``                       — dump a built-in instance as JSON
 
 Example::
@@ -20,9 +21,14 @@ by (instance, generator), and scores each group against one shared sample
 pool — optionally fanning groups out over worker processes.  With
 ``--mode adaptive`` every group runs sequential early-stopping estimators
 instead of fixed budgets, ``--cache-dir DIR`` (with ``--seed``) persists
-decompositions, bounds and sample batches across runs, and ``--backend``
+decompositions, bounds and sample batches across runs, ``--backend``
 picks the sample plane (``auto`` prefers the vectorized numpy plane and
-falls back to the scalar kernel).
+falls back to the scalar kernel), and ``--allow-errors`` exits 0 even
+when some rows report out-of-scope errors (the rows still carry them).
+
+``serve`` starts the estimation service (:mod:`repro.service`): a warm
+session registry behind a micro-batching HTTP JSON API, sharing the
+workload JSON conventions — see ``docs/FORMATS.md`` for the endpoints.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ from .counting.repair_count import (
 from .cqa.answers import ocqa_probability, operational_consistent_answers
 from .engine.batch import batch_estimate
 from .io import (
+    batch_results_to_rows,
     instance_to_dict,
     load_instance,
     load_workload_spec,
@@ -135,6 +142,46 @@ def build_parser() -> argparse.ArgumentParser:
         "else auto): 'auto' uses the vectorized numpy plane when available and "
         "falls back to the scalar kernel; pin 'vector' or 'scalar' for "
         "cross-environment reproducibility",
+    )
+    batch.add_argument(
+        "--allow-errors",
+        action="store_true",
+        help="exit 0 even when some requests report scope errors (the rows "
+        "still carry them); without this flag any error row exits 1",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the long-running estimation HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 picks one)"
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload-level seed group seeds derive from; served estimates "
+        "are then bit-identical to `repro batch --seed N` on the same "
+        "requests (and cacheable)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="CacheStore directory for admission warm-starts and eviction "
+        "spills (needs --seed to be effective)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "vector", "scalar"),
+        default="auto",
+        help="sample plane for every session (see `batch --backend`)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="LRU capacity of the warm session registry (default 32)",
     )
 
     example = commands.add_parser("example", help="dump a built-in instance")
@@ -293,30 +340,8 @@ def command_batch(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         backend=backend,
     )
-    failures = 0
-    rows = []
-    for outcome in results:
-        request = outcome.request
-        row = {
-            "instance": request.label,
-            "generator": request.generator.name,
-            "query": str(request.query),
-            "answer": list(request.answer),
-        }
-        if outcome.ok:
-            row.update(
-                estimate=outcome.result.estimate,
-                samples=outcome.result.samples_used,
-                method=outcome.result.method,
-                certified_zero=outcome.result.certified_zero,
-            )
-            interval = getattr(outcome.result, "interval", None)
-            if interval is not None:
-                row["interval"] = [interval.lower, interval.upper]
-        else:
-            failures += 1
-            row["error"] = outcome.error
-        rows.append(row)
+    rows = batch_results_to_rows(results)
+    failures = sum(1 for row in rows if "error" in row)
     if args.json:
         json.dump(rows, sys.stdout, indent=2)
         print()
@@ -333,7 +358,20 @@ def command_batch(args: argparse.Namespace) -> int:
                     f"{row['instance']}\t{row['generator']}\t{rendered}\t"
                     f"{row['estimate']:.6f}\t{row['samples']} samples\t{row['method']}"
                 )
-    return 1 if failures else 0
+    return 1 if failures and not args.allow_errors else 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    return serve(
+        args.host,
+        args.port,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        max_sessions=args.max_sessions,
+    )
 
 
 def command_example(args: argparse.Namespace) -> int:
@@ -373,6 +411,7 @@ COMMANDS = {
     "sample": command_sample,
     "count": command_count,
     "batch": command_batch,
+    "serve": command_serve,
     "example": command_example,
 }
 

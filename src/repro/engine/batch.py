@@ -7,11 +7,18 @@ groups them by ``(database, constraints, generator)``, runs one
 :class:`~repro.engine.session.SamplePool` per group, and optionally fans the
 groups out over a ``multiprocessing`` worker pool.
 
-Seeding is per group and derived deterministically from the workload seed in
-first-appearance order, so results are independent of the worker count and
-of how requests interleave across groups.  A request outside the paper's
-FPRAS scope is reported as :attr:`BatchResult.error` instead of aborting the
-rest of the batch (the per-call API keeps raising, as before).
+Seeding is per group and *content-derived*: :func:`group_seed_for` hashes
+``(database, Σ, generator, workload seed)`` through
+:func:`~repro.engine.store.instance_cache_key`, so a group's seed — and
+hence its sample stream and estimates — is independent of the worker
+count, of how requests interleave across groups, and of which *other*
+groups share the run.  The long-running service plane
+(:mod:`repro.service`) relies on exactly this: a request served from a
+warm session is bit-identical to the same request inside any offline
+``batch_estimate(seed=...)`` run, no matter the arrival order.  A request
+outside the paper's FPRAS scope is reported as :attr:`BatchResult.error`
+instead of aborting the rest of the batch (the per-call API keeps
+raising, as before).
 
 Two orthogonal switches extend the planner:
 
@@ -34,6 +41,8 @@ Two orthogonal switches extend the planner:
 from __future__ import annotations
 
 import multiprocessing
+import os
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -44,10 +53,12 @@ from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.queries import ConjunctiveQuery
 from .session import EstimationSession
-from .store import CacheStore
+from .store import CacheStore, instance_cache_key
 
-#: Decorrelates the per-group seeds derived from one workload-level seed.
-_SEED_STRIDE = 1_000_003
+#: Environment override for the multiprocessing start method used by
+#: ``batch_estimate(workers=...)`` (same values as the ``start_method``
+#: argument: ``fork`` / ``spawn`` / ``forkserver``).
+START_METHOD_ENV = "REPRO_UOCQA_START_METHOD"
 
 
 @dataclass(frozen=True)
@@ -101,6 +112,7 @@ def batch_estimate(
     cache_dir: str | None = None,
     use_kernel: bool = True,
     backend: str = "auto",
+    start_method: str | None = None,
 ) -> list[BatchResult]:
     """Estimate every request, sharing one sample pool per instance group.
 
@@ -126,12 +138,30 @@ def batch_estimate(
     per ``(seed, backend)``: both planes are deterministic, but they are
     *different* deterministic streams, so pin ``backend`` explicitly when
     comparing runs across machines with and without numpy.
+
+    ``start_method`` pins the ``multiprocessing`` start method for the
+    worker fan-out (``"fork"`` / ``"spawn"`` / ``"forkserver"``); the
+    ``REPRO_UOCQA_START_METHOD`` environment variable is the deployment-
+    level equivalent.  Left unset, ``fork`` is used only when the calling
+    process is single-threaded — forking a process with live threads can
+    deadlock the children (and is deprecated on Python 3.12+) — and
+    ``spawn`` otherwise.  Estimates never depend on the start method.
     """
     if mode not in ("fixed", "adaptive"):
         raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
     if backend not in ("auto", "vector", "scalar"):
         raise ValueError(
             f"unknown backend {backend!r} (use 'auto', 'vector' or 'scalar')"
+        )
+    if (
+        start_method is not None
+        and start_method not in multiprocessing.get_all_start_methods()
+    ):
+        # Validated eagerly (not only when the fan-out actually runs) so a
+        # typo fails the same way with one group as with many.
+        raise ValueError(
+            f"unknown start method {start_method!r}; this platform supports "
+            f"{multiprocessing.get_all_start_methods()}"
         )
     indexed = list(enumerate(requests))
     groups: dict[tuple, list[tuple[int, BatchRequest]]] = {}
@@ -140,16 +170,16 @@ def batch_estimate(
     payloads = [
         (
             members,
-            _group_seed(seed, group_position),
+            group_seed_for(seed, *group_key),
             mode,
             cache_dir,
             use_kernel,
             backend,
         )
-        for group_position, members in enumerate(groups.values())
+        for group_key, members in groups.items()
     ]
     if workers and workers > 1 and len(payloads) > 1:
-        context = _pool_context()
+        context = _pool_context(start_method)
         with context.Pool(min(workers, len(payloads))) as pool:
             chunks = pool.map(_estimate_group, payloads)
     else:
@@ -161,17 +191,50 @@ def batch_estimate(
     return results  # type: ignore[return-value]  # every slot is filled above
 
 
-def _group_seed(seed: int | None, group_position: int) -> int | None:
+def group_seed_for(
+    seed: int | None,
+    database: Database,
+    constraints: FDSet,
+    generator: MarkovChainGenerator,
+) -> int | None:
+    """The derived seed for one ``(database, Σ, generator)`` group.
+
+    A pure function of the group *content* and the workload seed (the
+    first 64 bits of :func:`~repro.engine.store.instance_cache_key`), so
+    two runs — or a run and a long-lived service — that score the same
+    group under the same workload seed draw the same stream even when the
+    surrounding workloads differ.  ``None`` stays ``None`` (fresh entropy).
+    """
     if seed is None:
         return None
-    return seed * _SEED_STRIDE + group_position
+    return int(instance_cache_key(database, constraints, generator.name, seed)[:16], 16)
 
 
-def _pool_context():
-    """Prefer fork (cheap, no import re-execution); fall back to the default."""
-    if "fork" in multiprocessing.get_all_start_methods():
+def _pool_context(start_method: str | None = None):
+    """The multiprocessing context for the worker fan-out.
+
+    Precedence: the explicit ``start_method`` argument, then the
+    ``REPRO_UOCQA_START_METHOD`` environment variable, then a safe
+    default — ``fork`` (cheap, no import re-execution) only while the
+    calling process is single-threaded, ``spawn`` otherwise.  A forked
+    child inherits a snapshot of the parent's locks; with live threads
+    (exactly the service case) a lock captured mid-acquire deadlocks the
+    child, and CPython 3.12+ warns about the combination.
+    """
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    if method is not None:
+        if method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"unknown start method {method!r}; this platform supports "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        return multiprocessing.get_context(method)
+    if (
+        "fork" in multiprocessing.get_all_start_methods()
+        and threading.active_count() == 1
+    ):
         return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+    return multiprocessing.get_context("spawn")
 
 
 def _estimate_group(
@@ -207,10 +270,7 @@ def _estimate_group(
             (position, BatchResult(request, error=str(error)))
             for position, request in members
         ]
-    if mode == "adaptive":
-        outcomes = _run_adaptive_group(session, pool, members)
-    else:
-        outcomes = _run_fixed_group(session, pool, members)
+    outcomes = run_group(session, pool, members, mode)
     if cache is not None:
         try:
             cache.save()
@@ -220,6 +280,32 @@ def _estimate_group(
             # not JSON-serializable — must not discard computed results.
             pass
     return outcomes
+
+
+def run_group(
+    session: EstimationSession,
+    pool,
+    members: Sequence[tuple[int, BatchRequest]],
+    mode: str = "fixed",
+) -> list[tuple[int, BatchResult]]:
+    """Execute one group's requests against a warm session + shared pool.
+
+    The single per-group execution path: both the offline planner above
+    and the long-running service plane (:mod:`repro.service`) route every
+    request through here, so a served estimate can never drift from its
+    ``batch_estimate`` twin.  ``members`` rows are ``(position, request)``;
+    the returned rows carry the positions back unchanged (fixed mode
+    preserves member order, adaptive mode reports invalid requests first).
+    Because every request evaluates the pool from position zero, results
+    are independent of how ``members`` is partitioned across calls — the
+    micro-batching server coalesces concurrent requests through this
+    exact property.
+    """
+    if mode == "adaptive":
+        return _run_adaptive_group(session, pool, members)
+    if mode != "fixed":
+        raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
+    return _run_fixed_group(session, pool, members)
 
 
 def _prefetch_fixed_prefix(

@@ -46,15 +46,34 @@ decoded facts that disagree with the live database — silently degrades to
 recomputation (``tests/test_store.py`` exercises each path).  Writes go
 through a temp file + ``os.replace`` so readers never observe a partially
 written entry.
+
+Concurrent writers: two processes sharing a ``cache_dir`` for the same
+key both load, compute, and save — a blind write would silently drop
+whatever the other process appended in between (last writer wins).
+:meth:`CacheEntry.save` therefore **reloads and merges** the on-disk
+document before writing: structural fields union (both writers computed
+them from the same instance, so values agree), and of two sample
+prefixes on the same plane the *longer* wins — both are prefixes of the
+same deterministic stream, so the longer one extends the shorter.  On
+platforms with ``fcntl`` the reload-merge-write runs under an advisory
+``flock`` on the store directory, making it atomic against other
+writers; elsewhere it degrades to best-effort (the merge still closes
+almost all of the window).
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 from typing import TYPE_CHECKING, Any
+
+try:  # pragma: no cover - platform probe (Linux/macOS have it, Windows not)
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 from ..core.blocks import Block, BlockDecomposition
 from ..core.database import Database
@@ -112,6 +131,26 @@ def _mask_to_words(mask: int, words: int) -> list[int]:
 
 class CacheFormatError(ValueError):
     """Raised internally for undecodable entry payloads (never escapes reads)."""
+
+
+@contextlib.contextmanager
+def _directory_lock(directory: str):
+    """Advisory exclusive lock on a store directory (no-op without fcntl).
+
+    Locking the directory *fd* itself leaves no stray lock files in the
+    store and survives the temp-file + ``os.replace`` dance (a lock on the
+    entry file would be held on a dead inode after the first replace).
+    Coarser than per-entry locking, but saves are rare and short.
+    """
+    if fcntl is None:
+        yield
+        return
+    descriptor = os.open(directory, os.O_RDONLY)
+    try:
+        fcntl.flock(descriptor, fcntl.LOCK_EX)
+        yield
+    finally:
+        os.close(descriptor)  # closing releases the flock
 
 
 def instance_cache_key(
@@ -246,27 +285,81 @@ class CacheEntry:
         return decoded
 
     def save(self) -> None:
-        """Atomically persist the entry if anything changed since loading."""
+        """Atomically persist the entry if anything changed since loading.
+
+        Never a blind write: under an advisory lock on the store
+        directory (where the platform has one) the on-disk document is
+        reloaded and merged first, so a concurrent run that appended its
+        own sample batches or verdicts between our load and our save
+        keeps them — see :meth:`_merge_from_disk`.
+        """
         if self._pool is not None:
             self._sync_pool()
         if not self._dirty:
             return
         directory = os.path.dirname(self.path) or "."
         os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(self._document, handle)
-            os.replace(temp_path, self.path)
-        except Exception:
-            # Clean the temp file up on *any* failure — e.g. TypeError from
-            # facts whose constants are not JSON-native — before re-raising.
+        with _directory_lock(directory):
+            self._merge_from_disk()
+            descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(self._document, handle)
+                os.replace(temp_path, self.path)
+            except Exception:
+                # Clean the temp file up on *any* failure — e.g. TypeError
+                # from facts whose constants are not JSON-native — before
+                # re-raising.
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
         self._dirty = False
+
+    def _merge_from_disk(self) -> None:
+        """Fold a concurrent writer's on-disk progress into this document.
+
+        Both writers hold the same ``(database, Σ, generator, seed)`` key,
+        so their computed values agree wherever they overlap; merging is
+        about *union*, not reconciliation:
+
+        * possibility verdicts and bounds: union, ours on (equal-valued)
+          overlap;
+        * decomposition: ours, theirs only when we never computed one;
+        * samples: prefixes of the same seeded stream extend each other,
+          so of two same-plane prefixes the longer survives together with
+          its resume state (RNG state / batch size).  A prefix from the
+          *other* plane is a different stream — ours wins outright.
+
+        A missing, corrupt, or stale-version file contributes nothing
+        (the load path already validates and degrades to empty).
+        """
+        disk = CacheEntry(self.path, self._database, self._constraints)
+        theirs = disk._document
+        document = self._document
+        for field in ("possibility", "bounds"):
+            merged = dict(theirs[field])
+            merged.update(document[field])
+            document[field] = merged
+        if document.get("decomposition") is None:
+            document["decomposition"] = theirs.get("decomposition")
+        ours_backend = document.get("backend")
+        theirs_backend = disk.sample_backend()
+        if theirs_backend is not None and disk.sample_word_rows():
+            same_plane = ours_backend == theirs_backend and (
+                theirs_backend != "vector"
+                or document.get("batch") == theirs.get("batch")
+            )
+            adopt = ours_backend is None or (
+                same_plane and len(theirs["samples"]) > len(document["samples"])
+            )
+            if adopt:
+                # .get(): a minimally valid v3 file may omit the resume
+                # fields entirely — absent must merge like null, never
+                # crash the save (the accelerator-not-authority policy).
+                for field in ("samples", "rng_state", "backend", "batch"):
+                    document[field] = theirs.get(field)
 
     # -- decomposition ---------------------------------------------------------------
 

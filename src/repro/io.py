@@ -296,6 +296,43 @@ def load_workload(path: str) -> list[BatchRequest]:
     )
 
 
+def batch_result_to_row(outcome) -> dict[str, Any]:
+    """One :class:`~repro.engine.batch.BatchResult` as a JSON-native row.
+
+    The single row schema every machine-readable surface emits —
+    ``python -m repro batch --json`` and the service HTTP API both build
+    their output through here, so the two can never drift.  Successful
+    rows carry ``estimate`` / ``samples`` / ``method`` / ``certified_zero``
+    (plus ``interval`` when the estimator produced one); failed rows carry
+    ``error`` instead.
+    """
+    request = outcome.request
+    row: dict[str, Any] = {
+        "instance": request.label,
+        "generator": request.generator.name,
+        "query": str(request.query),
+        "answer": list(request.answer),
+    }
+    if outcome.ok:
+        row.update(
+            estimate=outcome.result.estimate,
+            samples=outcome.result.samples_used,
+            method=outcome.result.method,
+            certified_zero=outcome.result.certified_zero,
+        )
+        interval = getattr(outcome.result, "interval", None)
+        if interval is not None:
+            row["interval"] = [interval.lower, interval.upper]
+    else:
+        row["error"] = outcome.error
+    return row
+
+
+def batch_results_to_rows(results) -> list[dict[str, Any]]:
+    """Serialize a ``batch_estimate`` result list to JSON-native rows."""
+    return [batch_result_to_row(outcome) for outcome in results]
+
+
 # -- queries --------------------------------------------------------------------------
 
 _QUERY_SHAPE = re.compile(r"^\s*Ans\s*\((?P<head>[^)]*)\)\s*:-\s*(?P<body>.+)$")

@@ -1,0 +1,50 @@
+"""The estimation service plane: warm sessions served over HTTP.
+
+Everything below :mod:`repro.engine` amortizes work *within* one process
+invocation; this package amortizes it *across* invocations by keeping the
+engine warm in a long-running process:
+
+* :class:`SessionRegistry` (:mod:`repro.service.registry`) — an LRU of
+  warm :class:`~repro.engine.session.EstimationSession`\\ s keyed by
+  :func:`~repro.engine.store.instance_cache_key`, each with its lazily
+  grown shared sample pool, a per-session lock (sessions are not
+  thread-safe), and optional :class:`~repro.engine.store.CacheStore`
+  warm-start on admission / spill on eviction.
+* :class:`MicroBatcher` (:mod:`repro.service.batching`) — coalesces
+  concurrent requests for the same group into one batched
+  pool-extension + hit-counting pass, so concurrency widens batches
+  instead of contending on the session lock.
+* :class:`EstimationServer` / :func:`serve` / :class:`BackgroundServer`
+  (:mod:`repro.service.server`) — a stdlib-only asyncio HTTP JSON API
+  (``/estimate``, ``/answers``, ``/healthz``, ``/stats``), started from
+  the command line as ``python -m repro serve``.
+* :class:`ServiceClient` (:mod:`repro.service.client`) — a small
+  ``urllib``-based client for the HTTP API.
+
+The determinism contract carries all the way through: a served estimate
+is bit-identical to the same request inside an offline
+:func:`~repro.engine.batch.batch_estimate` run under the same workload
+seed, regardless of arrival order or batching (group seeds are content-
+derived and every request evaluates its group's pool from position
+zero).  ``benchmarks/bench_e27_service_throughput.py`` asserts exactly
+that while measuring the warm-registry speedup.
+"""
+
+from .batching import MicroBatcher
+from .client import ServiceClient, ServiceClientError
+from .registry import DEFAULT_MAX_SESSIONS, SessionHandle, SessionRegistry
+from .server import DEFAULT_HOST, DEFAULT_PORT, BackgroundServer, EstimationServer, serve
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_SESSIONS",
+    "DEFAULT_PORT",
+    "EstimationServer",
+    "MicroBatcher",
+    "ServiceClient",
+    "ServiceClientError",
+    "SessionHandle",
+    "SessionRegistry",
+    "serve",
+]

@@ -1,0 +1,171 @@
+"""Micro-batching: coalesce concurrent same-group requests into one pass.
+
+The engine's economics reward width: one
+:func:`~repro.engine.batch.run_group` pass over ``k`` requests costs one
+pool extension (whole vector batches) plus ``k`` cheap batched
+hit-counting reductions, whereas ``k`` sequential passes serialize on
+the session lock and re-enter the evaluation machinery ``k`` times.
+:class:`MicroBatcher` turns concurrency into width: requests arriving
+for a group *while a batch for that group is already being scored* pile
+into a pending list, and the next drain round executes all of them as a
+single coalesced pass.
+
+Coalescing is free, correctness-wise: every request evaluates the group
+pool from position zero, so results are independent of how requests are
+partitioned into batches (the bit-identity contract of
+:func:`~repro.engine.batch.run_group`).  Fixed-mode and adaptive-mode
+waiters sharing a drain round are executed as one pass per mode over
+the same pool.
+
+Threading model: all queue state lives on the asyncio event loop (no
+locks); only the compute — :meth:`SessionHandle.run
+<repro.service.registry.SessionHandle.run>` under the per-session lock —
+runs in the executor.  At most one drain task exists per group key, so
+the session lock is uncontended in the server path and the event loop
+stays free to accept (and thereby coalesce) more requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from ..chains.generators import MarkovChainGenerator
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..engine.batch import BatchRequest, BatchResult
+from .registry import SessionRegistry
+
+#: The two per-request execution modes a waiter may ask for.
+MODES = ("fixed", "adaptive")
+
+
+class _Waiter:
+    """One submitted request bundle awaiting its coalesced batch."""
+
+    __slots__ = ("database", "constraints", "generator", "requests", "mode", "future")
+
+    def __init__(self, database, constraints, generator, requests, mode, future):
+        self.database = database
+        self.constraints = constraints
+        self.generator = generator
+        self.requests = requests
+        self.mode = mode
+        self.future = future
+
+
+class MicroBatcher:
+    """Coalesces concurrent :meth:`submit` calls per instance group.
+
+    Construct one per server over its :class:`SessionRegistry`; an
+    ``executor`` of ``None`` uses the event loop's default thread pool.
+    """
+
+    def __init__(self, registry: SessionRegistry, executor=None):
+        self.registry = registry
+        self._executor = executor
+        self._pending: dict[str, list[_Waiter]] = {}
+        self._draining: set[str] = set()
+        self._drain_tasks: set[asyncio.Task] = set()
+        self.batches_run = 0
+        self.coalesced_batches = 0
+        self.widest_batch = 0
+
+    async def submit(
+        self,
+        database: Database,
+        constraints: FDSet,
+        generator: MarkovChainGenerator,
+        requests: Sequence[BatchRequest],
+        mode: str = "fixed",
+    ) -> list[BatchResult]:
+        """Score ``requests`` (one group) and return results in order.
+
+        Out-of-scope groups resolve to per-request error rows, exactly
+        like ``batch_estimate``; only malformed calls (unknown mode) and
+        genuine internal failures raise.
+        """
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
+        loop = asyncio.get_running_loop()
+        key = self.registry.key_for(database, constraints, generator)
+        waiter = _Waiter(
+            database, constraints, generator, list(requests), mode, loop.create_future()
+        )
+        self._pending.setdefault(key, []).append(waiter)
+        if key not in self._draining:
+            self._draining.add(key)
+            task = loop.create_task(self._drain(key))
+            # Keep a strong reference: the loop only holds weak ones.
+            self._drain_tasks.add(task)
+            task.add_done_callback(self._drain_tasks.discard)
+        return await waiter.future
+
+    async def _drain(self, key: str) -> None:
+        """Serve ``key``'s pending waiters in coalesced rounds until empty."""
+        loop = asyncio.get_running_loop()
+        try:
+            while self._pending.get(key):
+                waiters = self._pending.pop(key)
+                try:
+                    outputs = await loop.run_in_executor(
+                        self._executor, self._run_batch, waiters
+                    )
+                except Exception as error:  # pragma: no cover - defensive
+                    for waiter in waiters:
+                        if not waiter.future.done():
+                            waiter.future.set_exception(error)
+                    continue
+                self.batches_run += 1
+                self.widest_batch = max(self.widest_batch, len(waiters))
+                if len(waiters) > 1:
+                    self.coalesced_batches += 1
+                for waiter, rows in zip(waiters, outputs):
+                    if not waiter.future.done():
+                        waiter.future.set_result(rows)
+        finally:
+            self._draining.discard(key)
+
+    def _run_batch(self, waiters: list[_Waiter]) -> list[list[BatchResult]]:
+        """Executor-side: one coalesced :meth:`SessionHandle.run` per mode.
+
+        All waiters share one registry key, so the handle resolves once;
+        their request lists are flattened into a single pass per mode and
+        the results split back per waiter.
+        """
+        from ..approx.fpras import FPRASUnavailable
+
+        first = waiters[0]
+        try:
+            handle = self.registry.handle(
+                first.database, first.constraints, first.generator
+            )
+        except (FPRASUnavailable, ValueError) as error:
+            message = str(error)
+            return [
+                [BatchResult(request, error=message) for request in waiter.requests]
+                for waiter in waiters
+            ]
+        outputs: list[list[BatchResult] | None] = [None] * len(waiters)
+        for mode in MODES:
+            flat: list[BatchRequest] = []
+            spans: list[tuple[int, int, int]] = []
+            for position, waiter in enumerate(waiters):
+                if waiter.mode != mode:
+                    continue
+                spans.append((position, len(flat), len(flat) + len(waiter.requests)))
+                flat.extend(waiter.requests)
+            if not flat:
+                continue
+            results = handle.run(flat, mode)
+            for position, start, stop in spans:
+                outputs[position] = results[start:stop]
+        return outputs  # type: ignore[return-value]  # every waiter has a mode
+
+    def stats(self) -> dict:
+        """Coalescing counters, JSON-native."""
+        return {
+            "batches_run": self.batches_run,
+            "coalesced_batches": self.coalesced_batches,
+            "widest_batch": self.widest_batch,
+        }

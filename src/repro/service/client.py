@@ -1,0 +1,149 @@
+"""A small stdlib HTTP client for the estimation service.
+
+:class:`ServiceClient` wraps the JSON API of
+:class:`~repro.service.server.EstimationServer`: it serializes
+``(Database, FDSet)`` pairs through :func:`repro.io.instance_to_dict`,
+posts request documents, and hands back the service's JSON rows
+verbatim (the ``batch --json`` row schema).  Each call opens a fresh
+connection (the server is one-request-per-connection), which also makes
+the client trivially thread-safe — the E27 bench drives it from a
+thread pool to exercise the server's micro-batching.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Sequence
+
+from ..chains.generators import MarkovChainGenerator
+from ..core.database import Database
+from ..core.dependencies import FDSet
+from ..core.queries import ConjunctiveQuery
+from ..io import format_query, instance_to_dict
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP-level error response, with the decoded JSON payload."""
+
+    def __init__(self, status: int, payload: Mapping[str, Any]):
+        self.status = status
+        self.payload = dict(payload)
+        super().__init__(f"HTTP {status}: {self.payload.get('error', self.payload)}")
+
+
+def _generator_name(generator: MarkovChainGenerator | str) -> str:
+    return generator if isinstance(generator, str) else generator.name
+
+
+def _query_text(query: ConjunctiveQuery | str) -> str:
+    return query if isinstance(query, str) else format_query(query)
+
+
+class ServiceClient:
+    """A client bound to one service base URL (e.g. from
+    :attr:`EstimationServer.url <repro.service.server.EstimationServer.url>`)."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, payload: Any = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                decoded = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                decoded = {"error": str(error.reason)}
+            raise ServiceClientError(error.code, decoded) from None
+
+    # -- monitoring --------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The server's liveness document."""
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """Registry / micro-batcher / server counters."""
+        return self._call("GET", "/stats")
+
+    # -- estimation --------------------------------------------------------------------
+
+    def estimate(
+        self,
+        database: Database,
+        constraints: FDSet,
+        query: ConjunctiveQuery | str,
+        answer: Sequence = (),
+        *,
+        generator: MarkovChainGenerator | str = "M_ur",
+        epsilon: float = 0.2,
+        delta: float = 0.05,
+        method: str = "auto",
+        max_samples: int | None = None,
+        mode: str = "fixed",
+        label: str = "request",
+    ) -> dict:
+        """Score one ``(query, answer)`` and return its result row."""
+        document: dict[str, Any] = {
+            "instance": instance_to_dict(database, constraints),
+            "query": _query_text(query),
+            "generator": _generator_name(generator),
+            "answer": list(answer),
+            "epsilon": epsilon,
+            "delta": delta,
+            "method": method,
+            "mode": mode,
+            "label": label,
+        }
+        if max_samples is not None:
+            document["max_samples"] = max_samples
+        (row,) = self._call("POST", "/estimate", document)["results"]
+        return row
+
+    def estimate_workload(self, document: Mapping[str, Any]) -> list[dict]:
+        """Post a full workload document; returns rows in request order.
+
+        The document uses the ``docs/FORMATS.md`` workload schema with
+        *inline* instance documents (the server rejects file paths).
+        """
+        return self._call("POST", "/estimate", dict(document))["results"]
+
+    def answers(
+        self,
+        database: Database,
+        constraints: FDSet,
+        query: ConjunctiveQuery | str,
+        *,
+        generator: MarkovChainGenerator | str = "M_ur",
+        epsilon: float = 0.2,
+        delta: float = 0.05,
+        method: str = "auto",
+        max_samples: int | None = None,
+        mode: str = "fixed",
+        label: str = "request",
+    ) -> list[dict]:
+        """Score every candidate answer of ``Q(D)``; returns the rows."""
+        document: dict[str, Any] = {
+            "instance": instance_to_dict(database, constraints),
+            "query": _query_text(query),
+            "generator": _generator_name(generator),
+            "epsilon": epsilon,
+            "delta": delta,
+            "method": method,
+            "mode": mode,
+            "label": label,
+        }
+        if max_samples is not None:
+            document["max_samples"] = max_samples
+        return self._call("POST", "/answers", document)["answers"]

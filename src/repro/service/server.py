@@ -1,0 +1,451 @@
+"""The estimation HTTP server: a stdlib-only asyncio JSON API.
+
+Endpoints (request/response JSON specified in ``docs/FORMATS.md``):
+
+* ``POST /estimate`` — a workload-shaped document (``instances`` +
+  ``requests`` + optional ``mode``/``defaults``, the exact
+  ``python -m repro batch`` format with *inline* instance documents) or
+  a single-request document (``instance`` + ``query`` + optional
+  ``generator``/``answer``/``answers``/``epsilon``/``delta``/
+  ``method``/``max_samples``/``mode``/``label``); responds with
+  ``{"mode": ..., "results": [row, ...]}`` in request order, each row in
+  the ``batch --json`` schema (scope errors are *rows*, not HTTP
+  errors).
+* ``POST /answers`` — single-request shape without ``answer``; expands
+  every candidate tuple of ``Q(D)`` (the workload format's
+  ``"answers": "all"``) and responds ``{"answers": [row, ...]}``.
+* ``GET /healthz`` — liveness + session count.
+* ``GET /stats`` — registry, micro-batcher and server counters.
+
+Instance documents must be inline: the on-disk workload format's
+"instance by file path" convenience is rejected here (a network service
+must not read files named by its callers).
+
+The server is deliberately minimal HTTP/1.1 — one request per
+connection, ``Connection: close`` — because its job is to demonstrate
+and exercise the service plane (registry + micro-batching) with zero
+dependencies, not to replace a production front end; the concurrency
+that matters (estimation) happens behind the event loop in coalesced
+batches, where an idle keep-alive connection would buy nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import time
+from typing import Any, Mapping
+
+from ..engine.batch import BatchRequest, BatchResult
+from ..io import InstanceFormatError, batch_results_to_rows, workload_from_dict
+from .batching import MODES, MicroBatcher
+from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+#: Request bodies past this size are rejected (64 MiB — far above any
+#: reasonable workload document, far below a memory-exhaustion payload).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Request-row fields forwarded from a single-request document into the
+#: wrapped workload row (everything else is server-side configuration).
+_SINGLE_REQUEST_FIELDS = (
+    "query",
+    "generator",
+    "answer",
+    "answers",
+    "epsilon",
+    "delta",
+    "method",
+    "max_samples",
+)
+
+
+class _BadRequest(Exception):
+    """A client error carried to the HTTP layer as a 400 row."""
+
+
+def _parse_body(body: bytes) -> Mapping[str, Any]:
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _BadRequest(f"request body is not valid JSON: {error}") from None
+    if not isinstance(document, Mapping):
+        raise _BadRequest("request body must be a JSON object")
+    return document
+
+
+def _reject_instance_paths(instances: Any) -> None:
+    """The service never loads instances from server-side file paths."""
+    if isinstance(instances, Mapping):
+        for name, spec in instances.items():
+            if not isinstance(spec, Mapping):
+                raise _BadRequest(
+                    f"instance {name!r} must be an inline instance document "
+                    "(file paths are not served)"
+                )
+
+
+def _parse_mode(document: Mapping[str, Any]) -> str:
+    mode = document.get("mode", "fixed")
+    if mode not in MODES:
+        raise _BadRequest(f"unknown mode {mode!r}; choose from {MODES}")
+    return mode
+
+
+def _estimate_requests(
+    document: Mapping[str, Any],
+) -> tuple[list[BatchRequest], str]:
+    """Both ``/estimate`` body shapes → (requests, mode)."""
+    if "requests" in document:
+        _reject_instance_paths(document.get("instances"))
+        try:
+            return workload_from_dict(document), _parse_mode(document)
+        except InstanceFormatError as error:
+            raise _BadRequest(str(error)) from None
+    return _single_request(document)
+
+
+def _single_request(
+    document: Mapping[str, Any], force_all_answers: bool = False
+) -> tuple[list[BatchRequest], str]:
+    """A single-request document, wrapped into the workload format."""
+    instance = document.get("instance")
+    if not isinstance(instance, Mapping):
+        raise _BadRequest(
+            "request needs an inline 'instance' document (or use the "
+            "workload shape with 'instances' + 'requests')"
+        )
+    label = document.get("label", "request")
+    if not isinstance(label, str):
+        raise _BadRequest("'label' must be a string")
+    row = {
+        key: document[key] for key in _SINGLE_REQUEST_FIELDS if key in document
+    }
+    if force_all_answers:
+        row.pop("answer", None)
+        row["answers"] = "all"
+    row["instance"] = label
+    try:
+        requests = workload_from_dict(
+            {"instances": {label: instance}, "requests": [row]}
+        )
+    except InstanceFormatError as error:
+        raise _BadRequest(str(error)) from None
+    return requests, _parse_mode(document)
+
+
+class EstimationServer:
+    """The asyncio HTTP server over one registry + micro-batcher."""
+
+    def __init__(
+        self,
+        registry: SessionRegistry | None = None,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        executor=None,
+    ):
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.batcher = MicroBatcher(self.registry, executor=executor)
+        self.host = host
+        self.port = port
+        self.address: tuple[str, int] | None = None
+        self.requests_served = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns ``(host, port)`` actually bound
+        (``port=0`` picks an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self._started_at = time.monotonic()
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (:meth:`start` must have run)."""
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, then spill every warm session to the cache."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Spilling walks session locks — keep it off the event loop.
+        await asyncio.get_running_loop().run_in_executor(None, self.registry.close)
+
+    @property
+    def url(self) -> str:
+        """The served base URL (after :meth:`start`)."""
+        if self.address is None:
+            raise RuntimeError("server not started")
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    # -- HTTP plumbing -----------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        except Exception as error:  # pragma: no cover - defensive backstop
+            status, payload = 500, {"error": f"internal error: {error}"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover - client gone
+            pass
+
+    async def _handle_request(self, reader) -> tuple[int, Any]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ConnectionError("empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, target, _ = parts
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    return 400, {"error": "malformed Content-Length"}
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": f"request body over {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(length) if length else b""
+        return await self._dispatch(method, target.split("?", 1)[0], body)
+
+    # -- routing -----------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, Any]:
+        routes = {
+            "/healthz": ("GET", self._healthz),
+            "/stats": ("GET", self._stats),
+            "/estimate": ("POST", self._estimate),
+            "/answers": ("POST", self._answers),
+        }
+        route = routes.get(path)
+        if route is None:
+            return 404, {"error": f"unknown path {path!r}", "paths": sorted(routes)}
+        expected, endpoint = route
+        if method != expected:
+            return 405, {"error": f"{path} expects {expected}"}
+        try:
+            if expected == "GET":
+                return 200, endpoint()
+            return 200, await endpoint(_parse_body(body))
+        except _BadRequest as error:
+            return 400, {"error": str(error)}
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "sessions": len(self.registry.handles()),
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "requests_served": self.requests_served,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "registry": self.registry.stats(),
+            "batching": self.batcher.stats(),
+        }
+
+    async def _estimate(self, document: Mapping[str, Any]) -> dict:
+        requests, mode = _estimate_requests(document)
+        results = await self._run(requests, mode)
+        return {
+            "mode": mode,
+            "count": len(results),
+            "results": batch_results_to_rows(results),
+        }
+
+    async def _answers(self, document: Mapping[str, Any]) -> dict:
+        if "answer" in document:
+            raise _BadRequest(
+                "/answers enumerates all candidate tuples; "
+                "use /estimate to score one answer"
+            )
+        requests, mode = _single_request(document, force_all_answers=True)
+        results = await self._run(requests, mode)
+        query = requests[0].query if requests else document.get("query")
+        generator = requests[0].generator.name if requests else None
+        return {
+            "query": str(query),
+            "generator": generator,
+            "mode": mode,
+            "answers": batch_results_to_rows(results),
+        }
+
+    async def _run(
+        self, requests: list[BatchRequest], mode: str
+    ) -> list[BatchResult]:
+        """Fan one parsed request list out per group and reassemble."""
+        groups: dict[tuple, list[tuple[int, BatchRequest]]] = {}
+        for position, request in enumerate(requests):
+            groups.setdefault(request.group_key(), []).append((position, request))
+        submissions = [
+            self.batcher.submit(
+                members[0][1].database,
+                members[0][1].constraints,
+                members[0][1].generator,
+                [request for _, request in members],
+                mode,
+            )
+            for members in groups.values()
+        ]
+        chunks = await asyncio.gather(*submissions)
+        results: list[BatchResult | None] = [None] * len(requests)
+        for members, chunk in zip(groups.values(), chunks):
+            for (position, _), outcome in zip(members, chunk):
+                results[position] = outcome
+        self.requests_served += len(requests)
+        return results  # type: ignore[return-value]  # every slot is filled above
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    seed: int | None = None,
+    cache_dir: str | None = None,
+    backend: str = "auto",
+    max_sessions: int | None = None,
+    use_kernel: bool = True,
+) -> int:
+    """Run the estimation service until interrupted (the CLI entry point).
+
+    Builds a :class:`SessionRegistry` from the arguments, binds, prints
+    the served URL to stderr, and blocks.  Returns ``0`` on a clean
+    ``KeyboardInterrupt`` shutdown (warm sessions are spilled to the
+    cache store first).
+    """
+    registry = SessionRegistry(
+        seed=seed,
+        cache_dir=cache_dir,
+        backend=backend,
+        use_kernel=use_kernel,
+        max_sessions=DEFAULT_MAX_SESSIONS if max_sessions is None else max_sessions,
+    )
+
+    async def _main() -> None:
+        server = EstimationServer(registry, host=host, port=port)
+        bound_host, bound_port = await server.start()
+        print(
+            f"repro estimation service on http://{bound_host}:{bound_port} "
+            f"(seed={seed}, backend={backend}, "
+            f"cache_dir={cache_dir}, max_sessions={registry.max_sessions})",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+class BackgroundServer:
+    """An :class:`EstimationServer` on a daemon thread, for embedding.
+
+    The harness tests, the E27 bench and the CI smoke job all use this:
+    ``with BackgroundServer(seed=7) as server:`` yields a bound server
+    (ephemeral port by default) whose :attr:`url` a
+    :class:`~repro.service.client.ServiceClient` can hit from any
+    thread; exiting stops the loop and spills warm sessions.
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry | None = None,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        **registry_options,
+    ):
+        if registry is not None and registry_options:
+            raise TypeError("pass a registry or registry options, not both")
+        self.registry = (
+            registry if registry is not None else SessionRegistry(**registry_options)
+        )
+        self.server = EstimationServer(self.registry, host=host, port=port)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> "EstimationServer":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.server
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as error:
+                self._startup_error = error
+                self._ready.set()
+                return
+            self._ready.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await self.server.stop()
+
+        asyncio.run(_main())

@@ -264,12 +264,14 @@ class TestBatchAdaptiveMode:
         assert all(r.ok for r in results)
         first = requests[0]
         session = EstimationSession(first.database, first.constraints, first.generator)
-        from repro.engine.batch import _group_seed
+        from repro.engine.batch import group_seed_for
 
         # The planner builds its pool via pool_for_seed (vector plane when
         # numpy is available); mirror it exactly.
         expected = session.estimate_adaptive_many(
-            session.pool_for_seed(_group_seed(37, 0)),
+            session.pool_for_seed(
+                group_seed_for(37, first.database, first.constraints, first.generator)
+            ),
             [(r.query, r.answer, r.epsilon, r.delta, r.max_samples) for r in requests],
         )
         assert [r.result for r in results] == expected

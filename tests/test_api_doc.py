@@ -13,11 +13,12 @@ import pytest
 import repro
 import repro.approx
 import repro.engine
+import repro.service
 import repro.workloads
 
 DOC = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
-MODULES = [repro, repro.engine, repro.approx, repro.workloads]
+MODULES = [repro, repro.engine, repro.approx, repro.workloads, repro.service]
 
 
 @pytest.fixture(scope="module")

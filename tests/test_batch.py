@@ -82,6 +82,59 @@ class TestBatchEstimate:
         results = batch_estimate(fig2_requests(), seed=17)
         assert len({r.result.samples_used for r in results}) == 1
 
+    def test_spawn_context_matches_serial(self):
+        # The service-plane regression: fork from a threaded process can
+        # deadlock workers, so the spawn path must work — payloads must
+        # pickle under spawn and estimates must not depend on the start
+        # method.
+        database, constraints = figure2_database()
+        query = cq((x,), (atom("R", x, y),))
+        requests = []
+        for generator in (M_UR, M_US):
+            for candidate in sorted(query.answers(database), key=repr):
+                requests.append(
+                    BatchRequest(
+                        database,
+                        constraints,
+                        generator,
+                        query,
+                        answer=candidate,
+                        epsilon=0.5,
+                        delta=0.2,
+                    )
+                )
+        serial = batch_estimate(requests, seed=13)
+        spawned = batch_estimate(requests, seed=13, workers=2, start_method="spawn")
+        assert [r.result for r in serial] == [r.result for r in spawned]
+
+    def test_start_method_env_override(self, monkeypatch):
+        from repro.engine.batch import START_METHOD_ENV, _pool_context
+
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        assert _pool_context().get_start_method() == "spawn"
+        monkeypatch.delenv(START_METHOD_ENV)
+        assert _pool_context("fork").get_start_method() == "fork"
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown start method"):
+            batch_estimate(
+                fig2_requests(), seed=3, workers=2, start_method="teleport"
+            )
+
+    def test_default_context_avoids_fork_with_live_threads(self):
+        import threading
+
+        from repro.engine.batch import _pool_context
+
+        stop = threading.Event()
+        thread = threading.Thread(target=stop.wait)
+        thread.start()
+        try:
+            assert _pool_context().get_start_method() != "fork"
+        finally:
+            stop.set()
+            thread.join()
+
     def test_unavailable_request_is_reported_not_raised(self, running_example):
         database, constraints, _ = running_example  # FDs: M_ur has no FPRAS
         bad = BatchRequest(

@@ -108,6 +108,80 @@ class TestSampleAndCount:
         assert capsys.readouterr().out.strip() == "6"
 
 
+class TestBatchAllowErrors:
+    """A mixed workload with known out-of-scope rows: ``--allow-errors``
+    distinguishes "ran, some rows out of scope" (exit 0) from "crashed"."""
+
+    @pytest.fixture
+    def mixed_workload_path(self, tmp_path):
+        from repro.core import Database, FDSet, Schema, fact, fd
+        from repro.io import instance_to_dict
+
+        database, constraints = figure2_database()
+        schema = Schema.from_spec({"R": ["A", "B", "C"]})
+        fd_database = Database(
+            [fact("R", "a1", "b1", "c1"), fact("R", "a1", "b2", "c2")], schema=schema
+        )
+        fd_constraints = FDSet(schema, [fd("R", "A", "B"), fd("R", "C", "B")])
+        document = {
+            "defaults": {"epsilon": 0.5, "delta": 0.2},
+            "instances": {
+                "fig2": instance_to_dict(database, constraints),
+                "fds": instance_to_dict(fd_database, fd_constraints),
+            },
+            "requests": [
+                {"instance": "fig2", "query": "Ans() :- R(a1, b1)"},
+                # M_ur beyond primary keys: a per-row scope error.
+                {"instance": "fds", "query": "Ans() :- R(a1, b1, c1)"},
+            ],
+        }
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_error_rows_exit_1_by_default(self, mixed_workload_path, capsys):
+        assert main(["batch", mixed_workload_path, "--seed", "5", "--json"]) == 1
+        rows = json.loads(capsys.readouterr().out)
+        assert "estimate" in rows[0]
+        assert "primary keys" in rows[1]["error"]
+
+    def test_allow_errors_exits_0_with_error_rows_intact(
+        self, mixed_workload_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "batch",
+                    mixed_workload_path,
+                    "--seed", "5",
+                    "--json",
+                    "--allow-errors",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert "estimate" in rows[0]
+        assert "primary keys" in rows[1]["error"]
+
+    def test_allow_errors_without_errors_still_exits_0(self, fig2_path, tmp_path, capsys):
+        document = {
+            "instances": {"fig2": fig2_path},
+            "requests": [
+                {
+                    "instance": "fig2",
+                    "query": "Ans() :- R(a1, b1)",
+                    "epsilon": 0.5,
+                    "delta": 0.2,
+                }
+            ],
+        }
+        path = tmp_path / "clean.json"
+        path.write_text(json.dumps(document))
+        assert main(["batch", str(path), "--seed", "5", "--allow-errors"]) == 0
+        assert "ERROR" not in capsys.readouterr().out
+
+
 class TestExamples:
     @pytest.mark.parametrize("name", ["figure2", "running", "intro", "pathological8"])
     def test_examples_dump_valid_instances(self, name, capsys, tmp_path):

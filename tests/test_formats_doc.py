@@ -23,11 +23,19 @@ def json_blocks():
 
 
 def _instance_blocks(blocks):
-    return [b for b in blocks if "requests" not in b]
+    return [b for b in blocks if "schema" in b]
 
 
 def _workload_blocks(blocks):
     return [b for b in blocks if "requests" in b]
+
+
+def _service_request_blocks(blocks):
+    return [b for b in blocks if "instance" in b]
+
+
+def _service_response_blocks(blocks):
+    return [b for b in blocks if "results" in b]
 
 
 def test_documented_instance_parses(json_blocks):
@@ -67,3 +75,23 @@ def test_documented_workload_runs_as_described(json_blocks):
     assert by_position[0].estimate == pytest.approx(2 / 3, abs=0.15)  # a1 ~ 2/3
     assert by_position[3].method == "possibility-zero"  # same-block pair
     assert by_position[3].certified_zero and by_position[3].samples_used == 0
+
+
+def test_documented_service_exchange_is_live(json_blocks):
+    """POSTing the documented /estimate request to a seed-7 server returns
+    the documented response verbatim (the doc's bit-identity claim)."""
+    import urllib.request
+
+    from repro.service import BackgroundServer
+
+    (request_document,) = _service_request_blocks(json_blocks)
+    (response_document,) = _service_response_blocks(json_blocks)
+    with BackgroundServer(seed=7) as server:
+        request = urllib.request.Request(
+            server.url + "/estimate",
+            data=json.dumps(request_document).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            served = json.loads(response.read())
+    assert served == response_document

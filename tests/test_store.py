@@ -412,6 +412,118 @@ class TestCorruption:
         assert rewritten["rng_state"] is not None
 
 
+class TestTwoWriters:
+    """Concurrent saves must merge, never clobber (the PR 5 race fix).
+
+    Two runs sharing a cache_dir for the same key both load the entry,
+    compute, and save; before the reload-and-merge, the second save
+    silently dropped whatever the first appended (last writer wins).
+    """
+
+    def _writer(self, tmp_path, seed, grow_to, query_answer):
+        """A (session, entry) pair that drew ``grow_to`` samples and
+        cached one possibility verdict — but has not saved yet."""
+        from repro.engine.batch import group_seed_for
+
+        database, constraints = figure2_database()
+        group_seed = group_seed_for(seed, database, constraints, M_UR)
+        entry = CacheStore(str(tmp_path)).entry(
+            database, constraints, "M_ur", group_seed
+        )
+        session = EstimationSession(database, constraints, M_UR, cache=entry)
+        pool = session.cached_pool(group_seed)
+        pool.ensure(grow_to)
+        query = cq((x,), (atom("R", x, y),))
+        session.is_possible(query, query_answer)
+        return entry, pool
+
+    @pytest.mark.parametrize("first_saves_longer", [True, False])
+    def test_interleaved_saves_keep_the_longer_prefix_and_all_verdicts(
+        self, tmp_path, first_saves_longer
+    ):
+        lengths = (600, 40) if first_saves_longer else (40, 600)
+        # Both writers load while the entry is empty — the racy interleave.
+        writer_a, pool_a = self._writer(tmp_path, 7, lengths[0], ("a1",))
+        writer_b, pool_b = self._writer(tmp_path, 7, lengths[1], ("a2",))
+        writer_a.save()
+        writer_b.save()
+        with open(entry_path(tmp_path)) as handle:
+            document = json.load(handle)
+        # No sample batch was lost: the longer prefix survived either way.
+        assert len(document["samples"]) == max(len(pool_a), len(pool_b))
+        # And neither writer's verdicts were dropped.
+        assert len(document["possibility"]) == 2
+
+    def test_merged_entry_still_replays_bit_for_bit(self, tmp_path):
+        writer_a, _ = self._writer(tmp_path, 7, 40, ("a1",))
+        writer_b, _ = self._writer(tmp_path, 7, 600, ("a2",))
+        writer_b.save()
+        writer_a.save()  # shorter writer saves last: must not truncate
+        requests = fig2_requests()
+        warm = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        plain = batch_estimate(requests, seed=7)
+        assert [r.result for r in warm] == [r.result for r in plain]
+
+    def test_merge_survives_entry_without_resume_fields(self, tmp_path):
+        # A minimally valid v3 file may omit rng_state/batch entirely;
+        # merging it must degrade gracefully, never crash the save.
+        database, constraints = figure2_database()
+        entry = CacheStore(str(tmp_path)).entry(database, constraints, "M_ur", 7)
+        size = len(database.sorted_facts())
+        with open(entry.path, "w") as handle:
+            json.dump(
+                {
+                    "version": 3,
+                    "decomposition": None,
+                    "possibility": {},
+                    "bounds": {},
+                    "samples": [[0]] if size <= 64 else [],
+                    "backend": "scalar",
+                },
+                handle,
+            )
+        query = cq((x,), (atom("R", x, y),))
+        entry.set_possible(query, ("a1",), True)
+        entry.save()  # must not raise despite the absent resume fields
+        with open(entry.path) as handle:
+            document = json.load(handle)
+        assert len(document["possibility"]) == 1
+
+    def test_cross_plane_writers_keep_their_own_prefix(self, tmp_path):
+        # A scalar writer and a vector writer share a key only when the
+        # environments differ; the merge must not splice streams.
+        from repro.engine.batch import group_seed_for
+
+        database, constraints = figure2_database()
+        group_seed = group_seed_for(7, database, constraints, M_UR)
+        store = CacheStore(str(tmp_path))
+
+        vector_entry = store.entry(database, constraints, "M_ur", group_seed)
+        vector_session = EstimationSession(
+            database, constraints, M_UR, cache=vector_entry, backend="vector"
+        )
+        vector_session.cached_pool(group_seed).ensure(10)
+
+        scalar_entry = store.entry(database, constraints, "M_ur", group_seed)
+        scalar_session = EstimationSession(
+            database, constraints, M_UR, cache=scalar_entry, backend="scalar"
+        )
+        scalar_session.cached_pool(group_seed).ensure(40)
+
+        vector_entry.save()
+        scalar_entry.save()  # other plane on disk: ours wins outright
+        with open(entry_path(tmp_path)) as handle:
+            document = json.load(handle)
+        assert document["backend"] == "scalar"
+        assert len(document["samples"]) == 40
+        # The surviving scalar prefix extends cleanly.
+        warm = batch_estimate(
+            fig2_requests(), seed=7, cache_dir=str(tmp_path), backend="scalar"
+        )
+        plain = batch_estimate(fig2_requests(), seed=7, backend="scalar")
+        assert [r.result for r in warm] == [r.result for r in plain]
+
+
 class TestWorkloadSpecAndCli:
     def workload_document(self, **extra):
         database, constraints = figure2_database()
