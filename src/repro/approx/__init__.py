@@ -4,6 +4,7 @@ from .adaptive import (
     AdaptiveResult,
     SequentialEstimator,
     adaptive_estimate,
+    confidence_sequence_radius,
     empirical_bernstein_radius,
     hoeffding_radius,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "AdaptiveResult",
     "SequentialEstimator",
     "adaptive_estimate",
+    "confidence_sequence_radius",
     "empirical_bernstein_radius",
     "hoeffding_radius",
     "composed_estimate",

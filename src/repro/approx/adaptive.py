@@ -78,6 +78,16 @@ class AdaptiveResult:
     certified_zero: bool = False
 
 
+def _eb_from_log_term(
+    n: int, variance: float, log_term: float, value_range: float = 1.0
+) -> float:
+    """Empirical-Bernstein radius from a precomputed ``ln(3/δ)`` value."""
+    return (
+        math.sqrt(2.0 * variance * log_term / n)
+        + 3.0 * value_range * log_term / n
+    )
+
+
 def empirical_bernstein_radius(
     n: int, variance: float, delta: float, value_range: float = 1.0
 ) -> float:
@@ -85,18 +95,54 @@ def empirical_bernstein_radius(
 
     ``sqrt(2 V ln(3/δ) / n) + 3 R ln(3/δ) / n`` — a two-sided bound using
     the *empirical* variance ``V`` (Audibert, Munos & Szepesvári 2009).
+    ``ln(3/δ)`` is computed as ``ln 3 − ln δ`` so subnormal δ (where
+    ``3/δ`` overflows to ``inf``) still yields a finite radius.
     """
     if n <= 0:
         return float("inf")
-    log_term = math.log(3.0 / delta)
-    return math.sqrt(2.0 * variance * log_term / n) + 3.0 * value_range * log_term / n
+    return _eb_from_log_term(
+        n, variance, math.log(3.0) - math.log(delta), value_range
+    )
 
 
 def hoeffding_radius(n: int, delta: float, value_range: float = 1.0) -> float:
-    """Two-sided Hoeffding deviation radius ``R·sqrt(ln(2/δ) / (2n))``."""
+    """Two-sided Hoeffding deviation radius ``R·sqrt(ln(2/δ) / (2n))``.
+
+    Like :func:`empirical_bernstein_radius`, the log term is a difference
+    (``ln 2 − ln δ``) so it stays finite for subnormal δ.
+    """
     if n <= 0:
         return float("inf")
-    return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+    return value_range * math.sqrt(
+        (math.log(2.0) - math.log(delta)) / (2.0 * n)
+    )
+
+
+def confidence_sequence_radius(
+    n: int, variance: float, delta_sequence: float, value_range: float = 1.0
+) -> float:
+    """The anytime deviation radius at sample count ``n``.
+
+    One formula shared by :meth:`SequentialEstimator.radius` and the
+    calibration audit's optional-stopping replays
+    (:mod:`repro.calibration`), so the audited arithmetic can never drift
+    from the shipped estimator.  The per-``n`` budget is
+    ``δ_n = δ_seq / (n (n+1))`` (telescoping to ``δ_seq``), split evenly
+    between the empirical-Bernstein and Hoeffding bounds, whose minimum
+    is returned.  ``ln(δ_n/2)`` is assembled additively in log space —
+    ``δ_seq / (n (n+1))`` itself can underflow to an exact float zero for
+    tiny δ (a ``ZeroDivisionError`` in the historical formulation) long
+    before the *logarithm* of the budget leaves float range.
+    """
+    if n <= 0:
+        return float("inf")
+    log_delta_half = (
+        math.log(delta_sequence) - math.log(n) - math.log(n + 1) - math.log(2.0)
+    )
+    return min(
+        _eb_from_log_term(n, variance, math.log(3.0) - log_delta_half, value_range),
+        value_range * math.sqrt((math.log(2.0) - log_delta_half) / (2.0 * n)),
+    )
 
 
 class SequentialEstimator:
@@ -143,7 +189,11 @@ class SequentialEstimator:
         # each to the zero certificate and the Chernoff fallback cap.
         self._delta_sequence = delta / 2.0
         if self.p_lower is not None:
-            self._zero_cap = max(1, math.ceil(math.log(4.0 / delta) / self.p_lower))
+            # ln(4/δ) as a difference: 4/δ overflows to inf for subnormal
+            # δ, which used to turn the cap into an OverflowError.
+            self._zero_cap = max(
+                1, math.ceil((math.log(4.0) - math.log(delta)) / self.p_lower)
+            )
             self._chernoff_cap = chernoff_sample_size(epsilon, delta / 4.0, self.p_lower)
         else:
             self._zero_cap = None
@@ -180,14 +230,12 @@ class SequentialEstimator:
         """Current anytime deviation radius: min(empirical-Bernstein, Hoeffding).
 
         Each bound gets half the per-``n`` budget ``δ_n = δ_seq / (n(n+1))``
-        so their minimum is simultaneously valid for every ``n``.
+        so their minimum is simultaneously valid for every ``n``; the
+        arithmetic lives in :func:`confidence_sequence_radius` (shared
+        with the calibration audit's optional-stopping replays).
         """
-        if self._n == 0:
-            return float("inf")
-        delta_n = self._delta_sequence / (self._n * (self._n + 1))
-        return min(
-            empirical_bernstein_radius(self._n, self.variance(), delta_n / 2.0),
-            hoeffding_radius(self._n, delta_n / 2.0),
+        return confidence_sequence_radius(
+            self._n, self.variance(), self._delta_sequence
         )
 
     # -- the sequential test ---------------------------------------------------------

@@ -53,7 +53,10 @@ def chernoff_sample_size(epsilon: float, delta: float, p_lower: float) -> int:
         raise ValueError("delta must lie in (0, 1)")
     if not 0 < p_lower <= 1:
         raise ValueError("p_lower must lie in (0, 1]")
-    return max(1, math.ceil(3.0 * math.log(2.0 / delta) / (epsilon**2 * p_lower)))
+    # ln(2/δ) as a difference: 2/δ overflows to inf for subnormal δ, and
+    # ceil(inf) is an OverflowError rather than a (huge) budget.
+    log_term = math.log(2.0) - math.log(delta)
+    return max(1, math.ceil(3.0 * log_term / (epsilon**2 * p_lower)))
 
 
 def zero_detection_sample_size(delta: float, p_lower: float) -> int:
@@ -62,7 +65,7 @@ def zero_detection_sample_size(delta: float, p_lower: float) -> int:
         raise ValueError("delta must lie in (0, 1)")
     if not 0 < p_lower <= 1:
         raise ValueError("p_lower must lie in (0, 1]")
-    return max(1, math.ceil(math.log(1.0 / delta) / p_lower))
+    return max(1, math.ceil(-math.log(delta) / p_lower))
 
 
 def fixed_estimate_from_total(
@@ -117,7 +120,7 @@ def stopping_rule_estimate(
         raise ValueError("the stopping rule requires 0 < epsilon < 1")
     if not 0 < delta < 1:
         raise ValueError("delta must lie in (0, 1)")
-    upsilon = 4.0 * (math.e - 2.0) * math.log(2.0 / delta) / (epsilon**2)
+    upsilon = 4.0 * (math.e - 2.0) * (math.log(2.0) - math.log(delta)) / (epsilon**2)
     threshold = 1.0 + (1.0 + epsilon) * upsilon
     total = 0.0
     n = 0
@@ -168,7 +171,8 @@ def hoeffding_sample_size(epsilon_additive: float, delta: float) -> int:
         raise ValueError("epsilon must be positive")
     if not 0 < delta < 1:
         raise ValueError("delta must lie in (0, 1)")
-    return max(1, math.ceil(math.log(2.0 / delta) / (2.0 * epsilon_additive**2)))
+    log_term = math.log(2.0) - math.log(delta)
+    return max(1, math.ceil(log_term / (2.0 * epsilon_additive**2)))
 
 
 def additive_estimate(

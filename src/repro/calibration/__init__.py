@@ -1,0 +1,58 @@
+"""Calibration audit plane: measure the (ε, δ) claims, don't trust them.
+
+Every estimator in this repository ships a statistical contract —
+"relative error ε with probability 1 − δ" — that ordinary tests cannot
+check from a single run.  This package audits the contracts empirically:
+:mod:`~repro.calibration.harness` mass-replicates seeded estimates
+through the real engine planes against exact or pinned-reference truths,
+:mod:`~repro.calibration.metrics` turns the outcomes into verdicts
+(Clopper–Pearson-banded miscoverage, adversarial optional-stopping
+violation rates, sharpness against the fixed-``n`` floor), and
+:mod:`~repro.calibration.report` emits the JSON artifact and human table
+behind ``python -m repro audit``.  Methodology notes live in
+``docs/CALIBRATION.md``.
+"""
+
+from .harness import (
+    AnytimeResult,
+    AuditReport,
+    AuditTarget,
+    CellResult,
+    default_targets,
+    exact_ground_target,
+    reference_target,
+    run_audit,
+)
+from .metrics import (
+    MiscoverageSummary,
+    SharpnessSummary,
+    anytime_violation_audit,
+    clopper_pearson_bounds,
+    miscoverage_summary,
+    relative_error_violated,
+    replication_seed,
+    sharpness_summary,
+)
+from .report import render_report, report_to_dict, write_json
+
+__all__ = [
+    "AnytimeResult",
+    "AuditReport",
+    "AuditTarget",
+    "CellResult",
+    "MiscoverageSummary",
+    "SharpnessSummary",
+    "anytime_violation_audit",
+    "clopper_pearson_bounds",
+    "default_targets",
+    "exact_ground_target",
+    "miscoverage_summary",
+    "reference_target",
+    "relative_error_violated",
+    "render_report",
+    "replication_seed",
+    "report_to_dict",
+    "run_audit",
+    "sharpness_summary",
+    "write_json",
+]

@@ -188,6 +188,61 @@ def build_parser() -> argparse.ArgumentParser:
     example.add_argument(
         "name", choices=("figure2", "running", "intro", "pathological8")
     )
+
+    audit = commands.add_parser(
+        "audit",
+        help="mass-replication calibration audit of the (ε, δ) contracts",
+    )
+    audit.add_argument(
+        "--replications",
+        type=int,
+        default=200,
+        help="independent seeded estimates per audit cell (default 200; "
+        "the acceptance gate runs 2000)",
+    )
+    audit.add_argument("--epsilon", type=float, default=0.3)
+    audit.add_argument("--delta", type=float, default=0.1)
+    audit.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed every replication seed is derived from (the whole "
+        "audit replays bit-for-bit under one value)",
+    )
+    audit.add_argument(
+        "--profile",
+        choices=("small", "full"),
+        default="small",
+        help="'small' audits the exact-truth Figure 2 grid; 'full' adds "
+        "a larger instance with exact and reference truths",
+    )
+    audit.add_argument(
+        "--cells",
+        nargs="*",
+        default=None,
+        metavar="PATTERN",
+        help="only audit cells whose target/mode/backend/warmth id "
+        "contains one of these substrings (e.g. 'adaptive', "
+        "'fig2-mur/fixed/vector')",
+    )
+    audit.add_argument(
+        "--horizon",
+        type=int,
+        default=512,
+        help="draws per adversarial optional-stopping stream (default 512)",
+    )
+    audit.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable audit artifact here",
+    )
+    audit.add_argument(
+        "--cache-dir",
+        default=None,
+        help="CacheStore directory for the warm-replay cells (a temporary "
+        "directory when omitted)",
+    )
     return parser
 
 
@@ -404,6 +459,27 @@ def command_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_audit(args: argparse.Namespace) -> int:
+    from .calibration import default_targets, render_report, run_audit, write_json
+
+    report = run_audit(
+        default_targets(args.profile),
+        epsilon=args.epsilon,
+        delta=args.delta,
+        replications=args.replications,
+        base_seed=args.seed,
+        cells=args.cells,
+        cache_dir=args.cache_dir,
+        horizon=args.horizon,
+        progress=lambda message: print(f"  {message}", file=sys.stderr),
+    )
+    print(render_report(report))
+    if args.json is not None:
+        write_json(report, args.json)
+        print(f"audit artifact written to {args.json}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 COMMANDS = {
     "inspect": command_inspect,
     "answers": command_answers,
@@ -413,6 +489,7 @@ COMMANDS = {
     "batch": command_batch,
     "serve": command_serve,
     "example": command_example,
+    "audit": command_audit,
 }
 
 

@@ -335,3 +335,130 @@ class TestBatchAdaptiveMode:
             assert result.ok, f"mode={mode}: {result.error}"
             assert result.result.certified_zero
             assert result.result.samples_used == 0
+
+
+class TestSmallDeltaAndDegenerateStreams:
+    """Regression pins for δ→0 arithmetic and constant p ∈ {0, 1} streams.
+
+    Historically ``radius()`` evaluated ``log(3 / δ_n)`` with
+    ``δ_n = δ/2 / (n(n+1))`` computed *as a float*: for subnormal δ the
+    quotient underflows to exactly 0.0 (a ``ZeroDivisionError``), and the
+    constructor's ``ceil(log(4/δ) / p_lower)`` overflowed once ``4/δ``
+    left float range.  Both now assemble the logarithm additively, so the
+    δ-budget split stays exact arithmetic all the way down.
+    """
+
+    SUBNORMAL_DELTA = 1e-320
+
+    def test_subnormal_delta_constructs_and_has_finite_radii(self):
+        import math
+
+        estimator = SequentialEstimator(0.2, self.SUBNORMAL_DELTA, p_lower=0.5)
+        # The historical formulation died here: δ_seq/(n(n+1)) hits an
+        # exact float zero near n=31 for δ=1e-320.
+        for _ in range(64):
+            if estimator.offer(1.0):
+                break
+            assert math.isfinite(estimator.radius())
+
+    def test_subnormal_delta_radius_helpers_stay_finite(self):
+        import math
+
+        from repro.approx.adaptive import confidence_sequence_radius
+
+        assert math.isfinite(
+            empirical_bernstein_radius(100, 0.25, self.SUBNORMAL_DELTA)
+        )
+        assert math.isfinite(hoeffding_radius(100, self.SUBNORMAL_DELTA))
+        assert math.isfinite(
+            confidence_sequence_radius(31, 0.25, self.SUBNORMAL_DELTA / 2)
+        )
+
+    def test_subnormal_delta_sample_sizes_are_finite_integers(self):
+        from repro.approx.montecarlo import (
+            hoeffding_sample_size,
+            zero_detection_sample_size,
+        )
+
+        for budget in (
+            chernoff_sample_size(0.5, self.SUBNORMAL_DELTA, 0.5),
+            zero_detection_sample_size(self.SUBNORMAL_DELTA, 0.5),
+            hoeffding_sample_size(0.5, self.SUBNORMAL_DELTA),
+        ):
+            assert isinstance(budget, int) and budget > 0
+
+    def test_smallest_subnormal_still_fails_loudly(self):
+        # δ = 5e-324 is the one value the split cannot survive: δ/4
+        # rounds to exactly 0.0 before any logarithm is taken, and the
+        # Chernoff cap rejects a zero δ outright.  An explicit ValueError
+        # (not an overflow or a hang) is the pinned behavior.
+        with pytest.raises(ValueError):
+            SequentialEstimator(0.2, 5e-324, p_lower=0.5)
+
+    def test_delta_split_arithmetic_pinned_exactly(self):
+        import math
+
+        epsilon, delta, p_lower = 0.3, 0.05, 0.1
+        estimator = SequentialEstimator(epsilon, delta, p_lower=p_lower)
+        # δ = δ/2 (sequence) + δ/4 (zero certificate) + δ/4 (Chernoff cap).
+        assert estimator._delta_sequence == delta / 2.0
+        assert estimator._zero_cap == math.ceil(
+            (math.log(4.0) - math.log(delta)) / p_lower
+        )
+        assert estimator._chernoff_cap == chernoff_sample_size(
+            epsilon, delta / 4.0, p_lower
+        )
+        assert estimator.sample_cap == estimator._chernoff_cap
+
+    def test_radius_is_the_shared_confidence_sequence_radius(self):
+        from repro.approx.adaptive import confidence_sequence_radius
+
+        estimator = SequentialEstimator(0.3, 0.1, p_lower=0.05)
+        rng = random.Random(7)
+        for _ in range(25):
+            if estimator.offer(1.0 if rng.random() < 0.4 else 0.0):
+                break
+            assert estimator.radius() == confidence_sequence_radius(
+                estimator.samples_seen,
+                estimator.variance(),
+                0.1 / 2.0,
+            )
+
+    def test_all_zero_stream_certifies_at_the_exact_zero_cap(self):
+        import math
+
+        delta, p_lower = 0.05, 0.2
+        estimator = SequentialEstimator(0.3, delta, p_lower=p_lower)
+        expected_cap = math.ceil((math.log(4.0) - math.log(delta)) / p_lower)
+        count = 0
+        while not estimator.offer(0.0):
+            count += 1
+        result = estimator.result()
+        assert result.method == "adaptive-zero"
+        assert result.certified_zero
+        assert result.estimate == 0.0
+        assert result.samples_used == expected_cap == count + 1
+        # The certificate is a point interval at zero, not a radius.
+        assert result.interval.lower == result.interval.upper == 0.0
+
+    def test_all_one_stream_stops_early_with_exact_estimate(self):
+        result = adaptive_estimate(lambda: 1.0, 0.3, 0.1, p_lower=0.5)
+        assert result.method == "adaptive-eb"
+        assert result.estimate == 1.0
+        assert not result.certified_zero
+        assert result.samples_used < chernoff_sample_size(0.3, 0.1 / 4.0, 0.5)
+        assert 1.0 <= result.interval.upper <= 1.0 + 1e-12
+
+    def test_subnormal_delta_zero_stream_still_terminates(self):
+        # The zero cap scales like ln(4/δ)/p_lower ≈ 1477 draws for
+        # δ=1e-320 — enormous confidence, still finite and reachable.
+        import math
+
+        result = adaptive_estimate(
+            lambda: 0.0, 0.2, self.SUBNORMAL_DELTA, p_lower=0.5
+        )
+        assert result.method == "adaptive-zero"
+        assert result.certified_zero
+        assert result.samples_used == math.ceil(
+            (math.log(4.0) - math.log(self.SUBNORMAL_DELTA)) / 0.5
+        )

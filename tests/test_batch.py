@@ -308,3 +308,86 @@ class TestBatchCommand:
         assert main(["batch", str(path)]) == 1
         out = capsys.readouterr().out
         assert "ERROR: M_ur beyond primary keys" in out
+
+
+# -- seeded-stream independence (hypothesis) -------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.batch import group_seed_for
+
+_pair_lists = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 4)),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+def _group_instance(pairs):
+    schema = Schema.from_spec({"R": ["A", "B"]})
+    database = Database(
+        [fact("R", f"a{a}", f"b{b}") for a, b in pairs], schema=schema
+    )
+    return database, FDSet(schema, [fd("R", "A", "B")])
+
+
+class TestGroupSeedIndependence:
+    """``group_seed_for`` is content-addressed: the cohort can never matter.
+
+    The batch planner (and the warm service re-using its streams) relies
+    on group seeds being (a) pairwise-distinct across distinct group
+    contents — shared streams across groups would correlate their
+    estimates — and (b) a pure function of ``(workload seed, group)``, so
+    that reordering, duplicating, or partitioning a workload never moves
+    any group onto a different stream.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        contents=st.lists(_pair_lists, min_size=2, max_size=5, unique_by=frozenset),
+    )
+    def test_pairwise_distinct_across_group_contents(self, seed, contents):
+        groups = [_group_instance(pairs) for pairs in contents]
+        derived = [
+            group_seed_for(seed, database, constraints, M_UR)
+            for database, constraints in groups
+        ]
+        assert len(set(derived)) == len(derived)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        contents=st.lists(_pair_lists, min_size=2, max_size=5, unique_by=frozenset),
+        permutation=st.randoms(use_true_random=False),
+    )
+    def test_order_and_cohort_independent(self, seed, contents, permutation):
+        groups = [_group_instance(pairs) for pairs in contents]
+        in_order = {
+            id(db): group_seed_for(seed, db, constraints, M_UR)
+            for db, constraints in groups
+        }
+        shuffled = list(groups)
+        permutation.shuffle(shuffled)
+        # Drop one group entirely: the survivors' seeds must not move.
+        for db, constraints in shuffled[1:]:
+            assert group_seed_for(seed, db, constraints, M_UR) == in_order[id(db)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), pairs=_pair_lists)
+    def test_distinct_across_generators_and_seeds(self, seed, pairs):
+        database, constraints = _group_instance(pairs)
+        by_generator = {
+            generator.name: group_seed_for(seed, database, constraints, generator)
+            for generator in (M_UR, M_US, M_UO1)
+        }
+        assert len(set(by_generator.values())) == 3
+        assert group_seed_for(seed + 1, database, constraints, M_UR) != (
+            by_generator["M_ur"]
+        )
+
+    def test_none_stays_none(self):
+        database, constraints = _group_instance([(0, 0)])
+        assert group_seed_for(None, database, constraints, M_UR) is None
