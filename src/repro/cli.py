@@ -9,7 +9,9 @@ Commands operate on JSON instance files (see :mod:`repro.io`):
 * ``count FILE [--what crs|repairs]``    — polynomial counts (primary keys)
 * ``batch FILE [options]``               — batched estimation over a JSON workload
 * ``serve [options]``                    — the long-running estimation HTTP service
+* ``loadtest [options]``                 — fault-injecting saturation test of ``serve``
 * ``example NAME``                       — dump a built-in instance as JSON
+* ``audit [options]``                    — mass-replication (ε, δ) calibration audit
 
 Example::
 
@@ -27,8 +29,22 @@ falls back to the scalar kernel), and ``--allow-errors`` exits 0 even
 when some rows report out-of-scope errors (the rows still carry them).
 
 ``serve`` starts the estimation service (:mod:`repro.service`): a warm
-session registry behind a micro-batching HTTP JSON API, sharing the
-workload JSON conventions — see ``docs/FORMATS.md`` for the endpoints.
+session registry behind a micro-batching HTTP JSON API sharing the
+workload JSON conventions, hardened with bounded admission queues
+(``--max-queue`` / ``--max-pending`` → 429 + ``Retry-After``), a
+server-wide deadline budget (``--default-budget`` → 504; clients may
+send tighter ``budget_seconds`` → 408), a digest-verified answer cache
+(``--answer-cache-size``), ``GET /metrics`` in Prometheus text format,
+and — for the load-test harness only — ``--enable-fault-injection``.
+``loadtest`` drives a real ``serve`` subprocess past saturation with a
+closed-loop client swarm and injected faults, and exits nonzero unless
+every graceful-degradation invariant held
+(:mod:`repro.service.loadtest`).
+
+**Adding a command** is one entry in the :data:`COMMANDS` registry: a
+:class:`Command` bundles the handler, its help line, and a function
+that declares its arguments — the parser is assembled from the table,
+so subcommands never touch :func:`build_parser` itself.
 """
 
 from __future__ import annotations
@@ -37,7 +53,9 @@ import argparse
 import json
 import random
 import sys
+from dataclasses import dataclass
 from fractions import Fraction
+from typing import Callable
 
 from .chains.generators import M_UO, M_UO1, M_UR, M_UR1, M_US, M_US1
 from .core.conflict_graph import ConflictGraph
@@ -70,180 +88,29 @@ GENERATORS = {
 }
 
 
+@dataclass(frozen=True)
+class Command:
+    """One CLI subcommand: handler + help + argument declaration."""
+
+    func: Callable[[argparse.Namespace], int]
+    help: str
+    add_arguments: Callable[[argparse.ArgumentParser], None]
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the full parser from the :data:`COMMANDS` registry."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Uniform operational consistent query answering (PODS 2022)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
-
-    inspect = commands.add_parser("inspect", help="describe an instance")
-    inspect.add_argument("instance", help="path to a JSON instance file")
-
-    answers = commands.add_parser("answers", help="operational consistent answers")
-    answers.add_argument("instance")
-    answers.add_argument("-q", "--query", required=True, help="e.g. 'Ans(?x) :- R(?x, ?y)'")
-    _add_generator_options(answers)
-
-    probability = commands.add_parser("probability", help="one answer's probability")
-    probability.add_argument("instance")
-    probability.add_argument("-q", "--query", required=True)
-    probability.add_argument(
-        "-a", "--answer", default="", help="comma-separated answer tuple"
-    )
-    _add_generator_options(probability)
-
-    sample = commands.add_parser("sample", help="draw repairs/sequences/walks")
-    sample.add_argument("instance")
-    sample.add_argument(
-        "--what", choices=("repair", "sequence", "walk"), default="repair"
-    )
-    sample.add_argument("-n", type=int, default=5, dest="count")
-    sample.add_argument("--singleton", action="store_true")
-    sample.add_argument("--seed", type=int, default=None)
-
-    count = commands.add_parser("count", help="polynomial counts (primary keys)")
-    count.add_argument("instance")
-    count.add_argument("--what", choices=("crs", "repairs"), default="repairs")
-    count.add_argument("--singleton", action="store_true")
-
-    batch = commands.add_parser(
-        "batch", help="batched estimation over a JSON workload file"
-    )
-    batch.add_argument("workload", help="path to a JSON workload file")
-    batch.add_argument("--seed", type=int, default=None)
-    batch.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="fan instance groups out over this many worker processes",
-    )
-    batch.add_argument(
-        "--json", action="store_true", help="emit machine-readable JSON rows"
-    )
-    batch.add_argument(
-        "--mode",
-        choices=("fixed", "adaptive"),
-        default=None,
-        help="estimation mode (default: the workload's 'mode' field, else fixed); "
-        "'adaptive' uses sequential early-stopping estimators",
-    )
-    batch.add_argument(
-        "--cache-dir",
-        default=None,
-        help="persist decompositions/bounds/sample batches here across runs "
-        "(default: the workload's 'cache_dir' field; needs --seed to be effective)",
-    )
-    batch.add_argument(
-        "--backend",
-        choices=("auto", "vector", "scalar"),
-        default=None,
-        help="sample plane per group (default: the workload's 'backend' field, "
-        "else auto): 'auto' uses the vectorized numpy plane when available and "
-        "falls back to the scalar kernel; pin 'vector' or 'scalar' for "
-        "cross-environment reproducibility",
-    )
-    batch.add_argument(
-        "--allow-errors",
-        action="store_true",
-        help="exit 0 even when some requests report scope errors (the rows "
-        "still carry them); without this flag any error row exits 1",
-    )
-
-    serve = commands.add_parser(
-        "serve", help="run the long-running estimation HTTP service"
-    )
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument(
-        "--port", type=int, default=8765, help="TCP port (0 picks one)"
-    )
-    serve.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="workload-level seed group seeds derive from; served estimates "
-        "are then bit-identical to `repro batch --seed N` on the same "
-        "requests (and cacheable)",
-    )
-    serve.add_argument(
-        "--cache-dir",
-        default=None,
-        help="CacheStore directory for admission warm-starts and eviction "
-        "spills (needs --seed to be effective)",
-    )
-    serve.add_argument(
-        "--backend",
-        choices=("auto", "vector", "scalar"),
-        default="auto",
-        help="sample plane for every session (see `batch --backend`)",
-    )
-    serve.add_argument(
-        "--max-sessions",
-        type=int,
-        default=None,
-        help="LRU capacity of the warm session registry (default 32)",
-    )
-
-    example = commands.add_parser("example", help="dump a built-in instance")
-    example.add_argument(
-        "name", choices=("figure2", "running", "intro", "pathological8")
-    )
-
-    audit = commands.add_parser(
-        "audit",
-        help="mass-replication calibration audit of the (ε, δ) contracts",
-    )
-    audit.add_argument(
-        "--replications",
-        type=int,
-        default=200,
-        help="independent seeded estimates per audit cell (default 200; "
-        "the acceptance gate runs 2000)",
-    )
-    audit.add_argument("--epsilon", type=float, default=0.3)
-    audit.add_argument("--delta", type=float, default=0.1)
-    audit.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="base seed every replication seed is derived from (the whole "
-        "audit replays bit-for-bit under one value)",
-    )
-    audit.add_argument(
-        "--profile",
-        choices=("small", "full"),
-        default="small",
-        help="'small' audits the exact-truth Figure 2 grid; 'full' adds "
-        "a larger instance with exact and reference truths",
-    )
-    audit.add_argument(
-        "--cells",
-        nargs="*",
-        default=None,
-        metavar="PATTERN",
-        help="only audit cells whose target/mode/backend/warmth id "
-        "contains one of these substrings (e.g. 'adaptive', "
-        "'fig2-mur/fixed/vector')",
-    )
-    audit.add_argument(
-        "--horizon",
-        type=int,
-        default=512,
-        help="draws per adversarial optional-stopping stream (default 512)",
-    )
-    audit.add_argument(
-        "--json",
-        default=None,
-        metavar="PATH",
-        help="also write the machine-readable audit artifact here",
-    )
-    audit.add_argument(
-        "--cache-dir",
-        default=None,
-        help="CacheStore directory for the warm-replay cells (a temporary "
-        "directory when omitted)",
-    )
+    for name, command in COMMANDS.items():
+        subparser = commands.add_parser(name, help=command.help)
+        command.add_arguments(subparser)
     return parser
+
+
+# -- shared argument groups ----------------------------------------------------------------
 
 
 def _add_generator_options(subparser: argparse.ArgumentParser) -> None:
@@ -278,6 +145,13 @@ def _render_probability(value) -> str:
     return f"{value.estimate:.6f} ({value.samples_used} samples, method {value.method})"
 
 
+# -- inspect -------------------------------------------------------------------------------
+
+
+def _arguments_inspect(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("instance", help="path to a JSON instance file")
+
+
 def command_inspect(args: argparse.Namespace) -> int:
     database, constraints = load_instance(args.instance)
     print(f"facts: {len(database)}")
@@ -297,6 +171,17 @@ def command_inspect(args: argparse.Namespace) -> int:
           f"(sizes {sorted(len(c) for c in components)})")
     print(f"conflict-free facts: {len(graph.isolated_nodes())}")
     return 0
+
+
+# -- answers -------------------------------------------------------------------------------
+
+
+def _arguments_answers(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("instance")
+    subparser.add_argument(
+        "-q", "--query", required=True, help="e.g. 'Ans(?x) :- R(?x, ?y)'"
+    )
+    _add_generator_options(subparser)
 
 
 def command_answers(args: argparse.Namespace) -> int:
@@ -321,6 +206,18 @@ def command_answers(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- probability ---------------------------------------------------------------------------
+
+
+def _arguments_probability(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("instance")
+    subparser.add_argument("-q", "--query", required=True)
+    subparser.add_argument(
+        "-a", "--answer", default="", help="comma-separated answer tuple"
+    )
+    _add_generator_options(subparser)
+
+
 def command_probability(args: argparse.Namespace) -> int:
     database, constraints = load_instance(args.instance)
     query = parse_query(args.query)
@@ -337,6 +234,19 @@ def command_probability(args: argparse.Namespace) -> int:
     )
     print(_render_probability(value))
     return 0
+
+
+# -- sample --------------------------------------------------------------------------------
+
+
+def _arguments_sample(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("instance")
+    subparser.add_argument(
+        "--what", choices=("repair", "sequence", "walk"), default="repair"
+    )
+    subparser.add_argument("-n", type=int, default=5, dest="count")
+    subparser.add_argument("--singleton", action="store_true")
+    subparser.add_argument("--seed", type=int, default=None)
 
 
 def command_sample(args: argparse.Namespace) -> int:
@@ -358,6 +268,15 @@ def command_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- count ---------------------------------------------------------------------------------
+
+
+def _arguments_count(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("instance")
+    subparser.add_argument("--what", choices=("crs", "repairs"), default="repairs")
+    subparser.add_argument("--singleton", action="store_true")
+
+
 def command_count(args: argparse.Namespace) -> int:
     database, constraints = load_instance(args.instance)
     if args.what == "crs":
@@ -374,6 +293,51 @@ def command_count(args: argparse.Namespace) -> int:
         )
     print(value)
     return 0
+
+
+# -- batch ---------------------------------------------------------------------------------
+
+
+def _arguments_batch(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("workload", help="path to a JSON workload file")
+    subparser.add_argument("--seed", type=int, default=None)
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan instance groups out over this many worker processes",
+    )
+    subparser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON rows"
+    )
+    subparser.add_argument(
+        "--mode",
+        choices=("fixed", "adaptive"),
+        default=None,
+        help="estimation mode (default: the workload's 'mode' field, else fixed); "
+        "'adaptive' uses sequential early-stopping estimators",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist decompositions/bounds/sample batches here across runs "
+        "(default: the workload's 'cache_dir' field; needs --seed to be effective)",
+    )
+    subparser.add_argument(
+        "--backend",
+        choices=("auto", "vector", "scalar"),
+        default=None,
+        help="sample plane per group (default: the workload's 'backend' field, "
+        "else auto): 'auto' uses the vectorized numpy plane when available and "
+        "falls back to the scalar kernel; pin 'vector' or 'scalar' for "
+        "cross-environment reproducibility",
+    )
+    subparser.add_argument(
+        "--allow-errors",
+        action="store_true",
+        help="exit 0 even when some requests report scope errors (the rows "
+        "still carry them); without this flag any error row exits 1",
+    )
 
 
 def command_batch(args: argparse.Namespace) -> int:
@@ -416,6 +380,86 @@ def command_batch(args: argparse.Namespace) -> int:
     return 1 if failures and not args.allow_errors else 0
 
 
+# -- serve ---------------------------------------------------------------------------------
+
+
+def _arguments_serve(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--host", default="127.0.0.1")
+    subparser.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 picks one)"
+    )
+    subparser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload-level seed group seeds derive from; served estimates "
+        "are then bit-identical to `repro batch --seed N` on the same "
+        "requests (and cacheable)",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="CacheStore directory for admission warm-starts and eviction "
+        "spills (needs --seed to be effective)",
+    )
+    subparser.add_argument(
+        "--backend",
+        choices=("auto", "vector", "scalar"),
+        default="auto",
+        help="sample plane for every session (see `batch --backend`)",
+    )
+    subparser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="LRU capacity of the warm session registry (default 32)",
+    )
+    subparser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="admission bound: queued estimation requests per instance group "
+        "(default unbounded); exceeding it returns 429 + Retry-After",
+    )
+    subparser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="admission bound: total queued estimation requests across all "
+        "groups (default unbounded); exceeding it returns 429 + Retry-After",
+    )
+    subparser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission bound: estimation requests concurrently being "
+        "handled, counting body parsing (default unbounded); exceeding "
+        "it returns 429 + Retry-After before the body is read",
+    )
+    subparser.add_argument(
+        "--default-budget",
+        type=float,
+        default=None,
+        help="server-wide deadline budget in seconds per request document "
+        "(default none); expiry cancels queued work and returns 504 "
+        "(client 'budget_seconds' fields return 408 and are capped by this)",
+    )
+    subparser.add_argument(
+        "--answer-cache-size",
+        type=int,
+        default=None,
+        help="memoized answer cache capacity in result rows (default 4096; "
+        "0 disables; only effective with --seed — unseeded estimates are "
+        "never cached)",
+    )
+    subparser.add_argument(
+        "--enable-fault-injection",
+        action="store_true",
+        help="expose POST /_fault (slow handlers, cache poisoning) for the "
+        "loadtest harness; never enable on a real deployment",
+    )
+
+
 def command_serve(args: argparse.Namespace) -> int:
     from .service import serve
 
@@ -426,6 +470,120 @@ def command_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         backend=args.backend,
         max_sessions=args.max_sessions,
+        max_queue=args.max_queue,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+        default_budget=args.default_budget,
+        answer_cache_size=args.answer_cache_size,
+        fault_injection=args.enable_fault_injection,
+    )
+
+
+# -- loadtest ------------------------------------------------------------------------------
+
+
+def _arguments_loadtest(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running server instead of spawning a "
+        "`repro serve` subprocess (the kill fault is then skipped)",
+    )
+    subparser.add_argument("--seed", type=int, default=7)
+    subparser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply every phase duration by this factor (the CI smoke "
+        "job uses the ~20 s defaults; the tier-2 leg scales up)",
+    )
+    subparser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="overload swarm size (default 24; saturation uses a sixth)",
+    )
+    subparser.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="batcher queue bound for the spawned server (default 8, "
+        "deliberately far below the overload swarm so backpressure must "
+        "engage)",
+    )
+    subparser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=1,
+        help="connection-level admission bound for the spawned server "
+        "(default 1: closed-loop admitted latency ≈ max_inflight × "
+        "service time, so one slot keeps admitted p99 near the unloaded "
+        "p99 on a small box)",
+    )
+    subparser.add_argument(
+        "--kill", action="store_true",
+        help="also SIGKILL and restart the server subprocess mid-storm",
+    )
+    subparser.add_argument(
+        "--no-slow", dest="slow", action="store_false",
+        help="skip the slow-handler + deadline-budget fault",
+    )
+    subparser.add_argument(
+        "--no-poison", dest="poison", action="store_false",
+        help="skip the cache-poisoning fault",
+    )
+    subparser.add_argument(
+        "--no-malformed", dest="malformed", action="store_false",
+        help="skip the malformed/truncated raw-socket probes",
+    )
+    subparser.add_argument(
+        "--no-p99-check", dest="p99_check", action="store_false",
+        help="report but do not assert the overload p99 degradation bound",
+    )
+    subparser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable report here",
+    )
+
+
+def command_loadtest(args: argparse.Namespace) -> int:
+    from .service import LoadTestConfig, format_report, run_loadtest
+
+    config = LoadTestConfig(
+        seed=args.seed,
+        baseline_seconds=2.0 * args.scale,
+        saturation_seconds=2.0 * args.scale,
+        overload_seconds=3.0 * args.scale,
+        cache_seconds=1.0 * args.scale,
+        fault_seconds=3.0 * args.scale,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+        inject_slow=args.slow,
+        inject_poison=args.poison,
+        inject_malformed=args.malformed,
+        inject_kill=args.kill and args.url is None,
+        check_p99=args.p99_check,
+    )
+    if args.clients is not None:
+        config.overload_clients = args.clients
+        config.saturation_clients = max(1, args.clients // 6)
+    report = run_loadtest(config, base_url=args.url)
+    print(format_report(report))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(report.to_dict(), stream, indent=2)
+        print(f"loadtest report written to {args.json}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+# -- example -------------------------------------------------------------------------------
+
+
+def _arguments_example(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "name", choices=("figure2", "running", "intro", "pathological8")
     )
 
 
@@ -459,6 +617,62 @@ def command_example(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- audit ---------------------------------------------------------------------------------
+
+
+def _arguments_audit(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--replications",
+        type=int,
+        default=200,
+        help="independent seeded estimates per audit cell (default 200; "
+        "the acceptance gate runs 2000)",
+    )
+    subparser.add_argument("--epsilon", type=float, default=0.3)
+    subparser.add_argument("--delta", type=float, default=0.1)
+    subparser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed every replication seed is derived from (the whole "
+        "audit replays bit-for-bit under one value)",
+    )
+    subparser.add_argument(
+        "--profile",
+        choices=("small", "full"),
+        default="small",
+        help="'small' audits the exact-truth Figure 2 grid; 'full' adds "
+        "a larger instance with exact and reference truths",
+    )
+    subparser.add_argument(
+        "--cells",
+        nargs="*",
+        default=None,
+        metavar="PATTERN",
+        help="only audit cells whose target/mode/backend/warmth id "
+        "contains one of these substrings (e.g. 'adaptive', "
+        "'fig2-mur/fixed/vector')",
+    )
+    subparser.add_argument(
+        "--horizon",
+        type=int,
+        default=512,
+        help="draws per adversarial optional-stopping stream (default 512)",
+    )
+    subparser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable audit artifact here",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="CacheStore directory for the warm-replay cells (a temporary "
+        "directory when omitted)",
+    )
+
+
 def command_audit(args: argparse.Namespace) -> int:
     from .calibration import default_targets, render_report, run_audit, write_json
 
@@ -480,23 +694,49 @@ def command_audit(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
-COMMANDS = {
-    "inspect": command_inspect,
-    "answers": command_answers,
-    "probability": command_probability,
-    "sample": command_sample,
-    "count": command_count,
-    "batch": command_batch,
-    "serve": command_serve,
-    "example": command_example,
-    "audit": command_audit,
+# -- the registry --------------------------------------------------------------------------
+
+#: The single source of truth for subcommands: parser assembly
+#: (:func:`build_parser`) and dispatch (:func:`main`) both walk this
+#: table, so adding a command is adding one entry.
+COMMANDS: dict[str, Command] = {
+    "inspect": Command(command_inspect, "describe an instance", _arguments_inspect),
+    "answers": Command(
+        command_answers, "operational consistent answers", _arguments_answers
+    ),
+    "probability": Command(
+        command_probability, "one answer's probability", _arguments_probability
+    ),
+    "sample": Command(
+        command_sample, "draw repairs/sequences/walks", _arguments_sample
+    ),
+    "count": Command(
+        command_count, "polynomial counts (primary keys)", _arguments_count
+    ),
+    "batch": Command(
+        command_batch, "batched estimation over a JSON workload file", _arguments_batch
+    ),
+    "serve": Command(
+        command_serve, "run the long-running estimation HTTP service", _arguments_serve
+    ),
+    "loadtest": Command(
+        command_loadtest,
+        "drive the estimation service past saturation with injected faults",
+        _arguments_loadtest,
+    ),
+    "example": Command(command_example, "dump a built-in instance", _arguments_example),
+    "audit": Command(
+        command_audit,
+        "mass-replication calibration audit of the (ε, δ) contracts",
+        _arguments_audit,
+    ),
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return COMMANDS[args.command](args)
+    return COMMANDS[args.command].func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,23 @@ partitioned into batches (the bit-identity contract of
 waiters sharing a drain round are executed as one pass per mode over
 the same pool.
 
+**Admission control.**  Pending work is bounded: ``max_queue`` caps the
+requests queued per group and ``max_pending`` caps the total across
+groups.  A :meth:`submit` that would exceed either bound raises
+:class:`QueueFull` *immediately* — before any state is enqueued — with
+a ``retry_after`` hint derived from the smoothed batch execution time
+and the queue depth ahead of the rejected request.  The server turns
+that into ``429`` + ``Retry-After``; under saturation the queues stay
+bounded and admitted requests keep bounded latency instead of the whole
+service collapsing into one unbounded backlog.
+
+**Cancellation.**  A waiter whose future is cancelled while queued (a
+request deadline expired) is dropped at drain time without being
+executed — its share of the coalesced pass is never paid.  Work already
+*running* in the executor cannot be interrupted, but its results are
+simply discarded for cancelled waiters (``future.done()`` guards every
+resolution).
+
 Threading model: all queue state lives on the asyncio event loop (no
 locks); only the compute — :meth:`SessionHandle.run
 <repro.service.registry.SessionHandle.run>` under the per-session lock —
@@ -28,7 +45,9 @@ stays free to accept (and thereby coalesce) more requests.
 from __future__ import annotations
 
 import asyncio
-from typing import Sequence
+import math
+import time
+from typing import Callable, Sequence
 
 from ..chains.generators import MarkovChainGenerator
 from ..core.database import Database
@@ -38,6 +57,29 @@ from .registry import SessionRegistry
 
 #: The two per-request execution modes a waiter may ask for.
 MODES = ("fixed", "adaptive")
+
+#: Smoothing factor for the exponentially weighted batch-duration
+#: estimate behind ``Retry-After`` hints.
+_EWMA_ALPHA = 0.3
+
+
+class QueueFull(RuntimeError):
+    """Admission refused: a micro-batcher queue bound would be exceeded.
+
+    ``retry_after`` is the batcher's estimate (whole seconds, >= 1) of
+    when retrying is likely to be admitted, sized from the smoothed
+    batch duration and the depth of the queue that rejected the request.
+    """
+
+    def __init__(self, scope: str, depth: int, limit: int, retry_after: int):
+        self.scope = scope
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"{scope} queue full ({depth} pending requests, limit {limit}); "
+            f"retry in ~{retry_after}s"
+        )
 
 
 class _Waiter:
@@ -59,17 +101,67 @@ class MicroBatcher:
 
     Construct one per server over its :class:`SessionRegistry`; an
     ``executor`` of ``None`` uses the event loop's default thread pool.
+    ``max_queue`` / ``max_pending`` bound the queued *requests* per
+    group / in total (``None`` = unbounded, the pre-hardening behavior);
+    ``on_batch(key, seconds, width)`` is an optional observation hook
+    the server uses for latency/width histograms.
     """
 
-    def __init__(self, registry: SessionRegistry, executor=None):
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        executor=None,
+        *,
+        max_queue: int | None = None,
+        max_pending: int | None = None,
+        on_batch: Callable[[str, float, int], None] | None = None,
+    ):
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
         self.registry = registry
+        self.max_queue = max_queue
+        self.max_pending = max_pending
         self._executor = executor
+        self._on_batch = on_batch
         self._pending: dict[str, list[_Waiter]] = {}
+        self._pending_sizes: dict[str, int] = {}
+        self._pending_total = 0
         self._draining: set[str] = set()
         self._drain_tasks: set[asyncio.Task] = set()
+        self._batch_seconds_ewma = 0.0
         self.batches_run = 0
         self.coalesced_batches = 0
         self.widest_batch = 0
+        self.rejected = 0
+        self.cancelled_waiters = 0
+
+    # -- admission ---------------------------------------------------------------------
+
+    def retry_after_hint(self, depth: int) -> int:
+        """Whole seconds (>= 1) until ``depth`` queued requests likely drain."""
+        per_batch = self._batch_seconds_ewma or 0.1
+        # Depth drains in coalesced passes; assume modest width so the
+        # hint errs conservative rather than thundering-herd optimistic.
+        return max(1, math.ceil(per_batch * (1 + depth / max(1, self.widest_batch or 1))))
+
+    def _admit(self, key: str, size: int) -> None:
+        depth = self._pending_sizes.get(key, 0)
+        if self.max_queue is not None and depth + size > self.max_queue:
+            self.rejected += size
+            raise QueueFull("group", depth, self.max_queue, self.retry_after_hint(depth))
+        if (
+            self.max_pending is not None
+            and self._pending_total + size > self.max_pending
+        ):
+            self.rejected += size
+            raise QueueFull(
+                "server",
+                self._pending_total,
+                self.max_pending,
+                self.retry_after_hint(self._pending_total),
+            )
 
     async def submit(
         self,
@@ -82,17 +174,22 @@ class MicroBatcher:
         """Score ``requests`` (one group) and return results in order.
 
         Out-of-scope groups resolve to per-request error rows, exactly
-        like ``batch_estimate``; only malformed calls (unknown mode) and
-        genuine internal failures raise.
+        like ``batch_estimate``; malformed calls (unknown mode) and
+        genuine internal failures raise, and a full queue raises
+        :class:`QueueFull` before enqueueing anything.
         """
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r} (use 'fixed' or 'adaptive')")
         loop = asyncio.get_running_loop()
         key = self.registry.key_for(database, constraints, generator)
+        size = len(requests)
+        self._admit(key, size)
         waiter = _Waiter(
             database, constraints, generator, list(requests), mode, loop.create_future()
         )
         self._pending.setdefault(key, []).append(waiter)
+        self._pending_sizes[key] = self._pending_sizes.get(key, 0) + size
+        self._pending_total += size
         if key not in self._draining:
             self._draining.add(key)
             task = loop.create_task(self._drain(key))
@@ -101,25 +198,53 @@ class MicroBatcher:
             task.add_done_callback(self._drain_tasks.discard)
         return await waiter.future
 
+    # -- draining ----------------------------------------------------------------------
+
+    def _pop_round(self, key: str) -> list[_Waiter]:
+        """Dequeue every pending waiter for ``key``, dropping cancelled ones."""
+        waiters = self._pending.pop(key, [])
+        self._pending_total -= self._pending_sizes.pop(key, 0)
+        live = []
+        for waiter in waiters:
+            if waiter.future.cancelled():
+                self.cancelled_waiters += 1
+            else:
+                live.append(waiter)
+        return live
+
     async def _drain(self, key: str) -> None:
         """Serve ``key``'s pending waiters in coalesced rounds until empty."""
         loop = asyncio.get_running_loop()
         try:
             while self._pending.get(key):
-                waiters = self._pending.pop(key)
+                waiters = self._pop_round(key)
+                if not waiters:
+                    continue
+                started = time.perf_counter()
                 try:
                     outputs = await loop.run_in_executor(
                         self._executor, self._run_batch, waiters
                     )
-                except Exception as error:  # pragma: no cover - defensive
+                except Exception as error:
+                    # One poisoned batch fails only its own waiters; the
+                    # drain loop survives to serve the next round.
                     for waiter in waiters:
                         if not waiter.future.done():
                             waiter.future.set_exception(error)
                     continue
+                elapsed = time.perf_counter() - started
+                self._batch_seconds_ewma = (
+                    elapsed
+                    if self._batch_seconds_ewma == 0.0
+                    else (1 - _EWMA_ALPHA) * self._batch_seconds_ewma
+                    + _EWMA_ALPHA * elapsed
+                )
                 self.batches_run += 1
                 self.widest_batch = max(self.widest_batch, len(waiters))
                 if len(waiters) > 1:
                     self.coalesced_batches += 1
+                if self._on_batch is not None:
+                    self._on_batch(key, elapsed, sum(len(w.requests) for w in waiters))
                 for waiter, rows in zip(waiters, outputs):
                     if not waiter.future.done():
                         waiter.future.set_result(rows)
@@ -131,7 +256,9 @@ class MicroBatcher:
 
         All waiters share one registry key, so the handle resolves once;
         their request lists are flattened into a single pass per mode and
-        the results split back per waiter.
+        the results split back per waiter.  Waiters cancelled between
+        dequeue and execution are skipped (their slots stay ``None`` —
+        the drain loop never resolves a done future).
         """
         from ..approx.fpras import FPRASUnavailable
 
@@ -151,7 +278,7 @@ class MicroBatcher:
             flat: list[BatchRequest] = []
             spans: list[tuple[int, int, int]] = []
             for position, waiter in enumerate(waiters):
-                if waiter.mode != mode:
+                if waiter.mode != mode or waiter.future.cancelled():
                     continue
                 spans.append((position, len(flat), len(flat) + len(waiter.requests)))
                 flat.extend(waiter.requests)
@@ -160,12 +287,18 @@ class MicroBatcher:
             results = handle.run(flat, mode)
             for position, start, stop in spans:
                 outputs[position] = results[start:stop]
-        return outputs  # type: ignore[return-value]  # every waiter has a mode
+        return outputs  # type: ignore[return-value]  # every live waiter has a mode
 
     def stats(self) -> dict:
-        """Coalescing counters, JSON-native."""
+        """Coalescing, queue and rejection counters, JSON-native."""
         return {
             "batches_run": self.batches_run,
             "coalesced_batches": self.coalesced_batches,
             "widest_batch": self.widest_batch,
+            "pending_requests": self._pending_total,
+            "max_queue": self.max_queue,
+            "max_pending": self.max_pending,
+            "rejected": self.rejected,
+            "cancelled_waiters": self.cancelled_waiters,
+            "batch_seconds_ewma": round(self._batch_seconds_ewma, 6),
         }

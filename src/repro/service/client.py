@@ -6,13 +6,26 @@
 posts request documents, and hands back the service's JSON rows
 verbatim (the ``batch --json`` row schema).  Each call opens a fresh
 connection (the server is one-request-per-connection), which also makes
-the client trivially thread-safe — the E27 bench drives it from a
+the client trivially thread-safe — the E27/E29 benches drive it from a
 thread pool to exercise the server's micro-batching.
+
+Error handling is total: *every* failure mode — JSON error responses,
+non-JSON bodies (a proxy's HTML 500 page), truncated responses, refused
+connections — surfaces as :class:`ServiceClientError` carrying the HTTP
+status (0 when no response arrived) and a bounded excerpt of whatever
+body was received, never a raw ``json.JSONDecodeError`` or bare
+``URLError``.  A ``429``'s ``Retry-After`` header is parsed onto the
+error (:attr:`ServiceClientError.retry_after`), and constructing the
+client with ``max_retries > 0`` makes it honor that hint itself:
+rejected calls sleep ``min(Retry-After, retry_after_cap)`` and retry up
+to the bound, then raise the final rejection.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Mapping, Sequence
@@ -23,14 +36,49 @@ from ..core.dependencies import FDSet
 from ..core.queries import ConjunctiveQuery
 from ..io import format_query, instance_to_dict
 
+#: Longest body excerpt attached to a :class:`ServiceClientError`.
+_EXCERPT_LIMIT = 200
+
+
+def _excerpt(body: bytes) -> str:
+    text = body.decode("utf-8", errors="replace")
+    if len(text) > _EXCERPT_LIMIT:
+        return text[:_EXCERPT_LIMIT] + "…"
+    return text
+
 
 class ServiceClientError(RuntimeError):
-    """An HTTP-level error response, with the decoded JSON payload."""
+    """An estimation-service call that failed.
 
-    def __init__(self, status: int, payload: Mapping[str, Any]):
+    ``status`` is the HTTP status code (``0`` when no HTTP response was
+    received at all — connection refused, truncated mid-body).
+    ``payload`` is the decoded JSON error document when the server sent
+    one, else a synthesized ``{"error": ..., "body_excerpt": ...}``
+    describing what *was* received.  ``retry_after`` carries a parsed
+    ``Retry-After`` header (seconds) when the response had one.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: Mapping[str, Any],
+        retry_after: float | None = None,
+    ):
         self.status = status
         self.payload = dict(payload)
+        self.retry_after = retry_after
         super().__init__(f"HTTP {status}: {self.payload.get('error', self.payload)}")
+
+
+def _retry_after_seconds(headers) -> float | None:
+    value = headers.get("Retry-After") if headers is not None else None
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
 
 
 def _generator_name(generator: MarkovChainGenerator | str) -> str:
@@ -43,13 +91,47 @@ def _query_text(query: ConjunctiveQuery | str) -> str:
 
 class ServiceClient:
     """A client bound to one service base URL (e.g. from
-    :attr:`EstimationServer.url <repro.service.server.EstimationServer.url>`)."""
+    :attr:`EstimationServer.url <repro.service.server.EstimationServer.url>`).
 
-    def __init__(self, base_url: str, timeout: float = 300.0):
+    ``max_retries`` bounds how many times a ``429``-rejected call is
+    retried after sleeping the server's ``Retry-After`` hint (capped at
+    ``retry_after_cap`` seconds per sleep); ``0`` (the default) raises
+    immediately, preserving the pre-hardening behavior.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 300.0,
+        *,
+        max_retries: int = 0,
+        retry_after_cap: float = 5.0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_after_cap <= 0:
+            raise ValueError("retry_after_cap must be positive")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_after_cap = retry_after_cap
 
     def _call(self, method: str, path: str, payload: Any = None) -> dict:
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._call_once(method, path, payload)
+            except ServiceClientError as error:
+                retriable = (
+                    error.status == 429
+                    and error.retry_after is not None
+                    and attempt < self.max_retries
+                )
+                if not retriable:
+                    raise
+                time.sleep(min(error.retry_after, self.retry_after_cap))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, method: str, path: str, payload: Any = None) -> dict:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
@@ -59,13 +141,57 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                status = response.status
+                body = response.read()
         except urllib.error.HTTPError as error:
+            status = error.code
+            retry_after = _retry_after_seconds(error.headers)
             try:
-                decoded = json.loads(error.read().decode("utf-8"))
+                body = error.read()
+            except (http.client.IncompleteRead, ConnectionError, OSError) as read_error:
+                body = getattr(read_error, "partial", b"") or b""
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+                if not isinstance(decoded, Mapping):
+                    raise ValueError("non-object error body")
             except (ValueError, UnicodeDecodeError):
-                decoded = {"error": str(error.reason)}
-            raise ServiceClientError(error.code, decoded) from None
+                decoded = {
+                    "error": f"non-JSON error body ({error.reason})",
+                    "body_excerpt": _excerpt(body),
+                }
+            raise ServiceClientError(status, decoded, retry_after) from None
+        except (http.client.IncompleteRead, ConnectionResetError) as error:
+            partial = getattr(error, "partial", b"") or b""
+            raise ServiceClientError(
+                0,
+                {
+                    "error": f"truncated response from {self.base_url + path}: {error}",
+                    "body_excerpt": _excerpt(partial),
+                },
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                0, {"error": f"request to {self.base_url + path} failed: {error.reason}"}
+            ) from None
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceClientError(
+                status,
+                {
+                    "error": "response body is not valid JSON",
+                    "body_excerpt": _excerpt(body),
+                },
+            ) from None
+        if not isinstance(document, dict):
+            raise ServiceClientError(
+                status,
+                {
+                    "error": "response body is not a JSON object",
+                    "body_excerpt": _excerpt(body),
+                },
+            )
+        return document
 
     # -- monitoring --------------------------------------------------------------------
 
@@ -74,8 +200,36 @@ class ServiceClient:
         return self._call("GET", "/healthz")
 
     def stats(self) -> dict:
-        """Registry / micro-batcher / server counters."""
+        """Registry / micro-batcher / answer-cache / server counters."""
         return self._call("GET", "/stats")
+
+    def metrics(self) -> dict[str, float]:
+        """Scrape ``GET /metrics`` and parse it into ``{series: value}``.
+
+        Uses :func:`repro.service.metrics.parse_metrics_text`; the raw
+        exposition text is available via :meth:`metrics_text`.
+        """
+        from .metrics import parse_metrics_text
+
+        return parse_metrics_text(self.metrics_text())
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition text from ``GET /metrics``."""
+        request = urllib.request.Request(self.base_url + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                decoded = {"error": str(error.reason), "body_excerpt": _excerpt(body)}
+            raise ServiceClientError(error.code, decoded) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                0, {"error": f"request to {self.base_url}/metrics failed: {error.reason}"}
+            ) from None
 
     # -- estimation --------------------------------------------------------------------
 
@@ -93,6 +247,7 @@ class ServiceClient:
         max_samples: int | None = None,
         mode: str = "fixed",
         label: str = "request",
+        budget_seconds: float | None = None,
     ) -> dict:
         """Score one ``(query, answer)`` and return its result row."""
         document: dict[str, Any] = {
@@ -108,6 +263,8 @@ class ServiceClient:
         }
         if max_samples is not None:
             document["max_samples"] = max_samples
+        if budget_seconds is not None:
+            document["budget_seconds"] = budget_seconds
         (row,) = self._call("POST", "/estimate", document)["results"]
         return row
 
@@ -132,6 +289,7 @@ class ServiceClient:
         max_samples: int | None = None,
         mode: str = "fixed",
         label: str = "request",
+        budget_seconds: float | None = None,
     ) -> list[dict]:
         """Score every candidate answer of ``Q(D)``; returns the rows."""
         document: dict[str, Any] = {
@@ -146,4 +304,6 @@ class ServiceClient:
         }
         if max_samples is not None:
             document["max_samples"] = max_samples
+        if budget_seconds is not None:
+            document["budget_seconds"] = budget_seconds
         return self._call("POST", "/answers", document)["answers"]

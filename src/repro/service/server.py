@@ -1,4 +1,4 @@
-"""The estimation HTTP server: a stdlib-only asyncio JSON API.
+"""The estimation HTTP server: a stdlib-only asyncio JSON API, hardened.
 
 Endpoints (request/response JSON specified in ``docs/FORMATS.md``):
 
@@ -15,7 +15,31 @@ Endpoints (request/response JSON specified in ``docs/FORMATS.md``):
   every candidate tuple of ``Q(D)`` (the workload format's
   ``"answers": "all"``) and responds ``{"answers": [row, ...]}``.
 * ``GET /healthz`` — liveness + session count.
-* ``GET /stats`` — registry, micro-batcher and server counters.
+* ``GET /stats`` — registry, micro-batcher, answer-cache and server
+  counters as one JSON document.
+* ``GET /metrics`` — the same operational signals in Prometheus text
+  exposition format (:mod:`repro.service.metrics`).
+
+Operational hardening (PR 7):
+
+* **Backpressure** — the micro-batcher's queues are bounded
+  (``max_queue`` per group, ``max_pending`` total); a request that
+  would exceed them is refused with ``429`` and a ``Retry-After``
+  header *before* any work is enqueued, so saturation degrades into
+  fast rejections instead of unbounded queueing.
+* **Deadline budgets** — a per-request ``budget_seconds`` document
+  field (``408`` on expiry) and a server-wide ``default_budget``
+  (``504``); expiry cancels the request's queued work, so a timed-out
+  request stops consuming capacity.
+* **Answer cache** — a digest-verified LRU of served result rows
+  (:class:`~repro.service.cache.AnswerCache`) keyed by everything that
+  determines a row; hits bypass the batcher entirely.  Seeded servers
+  only — unseeded estimates are not reproducible, so they are never
+  memoized.
+* **Fault injection** (``fault_injection=True`` / ``serve
+  --enable-fault-injection``) — a ``POST /_fault`` endpoint the
+  load-test harness uses to slow handlers and poison cache entries;
+  absent (404) in normal operation.
 
 Instance documents must be inline: the on-disk workload format's
 "instance by file path" convenience is rejected here (a network service
@@ -36,11 +60,13 @@ import json
 import sys
 import threading
 import time
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from ..engine.batch import BatchRequest, BatchResult
-from ..io import InstanceFormatError, batch_results_to_rows, workload_from_dict
-from .batching import MODES, MicroBatcher
+from ..io import InstanceFormatError, batch_result_to_row, workload_from_dict
+from .batching import MODES, MicroBatcher, QueueFull
+from .cache import DEFAULT_ANSWER_CACHE_SIZE, AnswerCache
+from .metrics import LATENCY_BUCKETS, WIDTH_BUCKETS, MetricsRegistry
 from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry
 
 DEFAULT_HOST = "127.0.0.1"
@@ -50,13 +76,21 @@ DEFAULT_PORT = 8765
 #: reasonable workload document, far below a memory-exhaustion payload).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: A connection must deliver its complete request within this window;
+#: slow or truncated-then-silent senders are dropped instead of pinning
+#: a reader task forever.
+READ_TIMEOUT_SECONDS = 30.0
+
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    504: "Gateway Timeout",
 }
 
 #: Request-row fields forwarded from a single-request document into the
@@ -75,6 +109,43 @@ _SINGLE_REQUEST_FIELDS = (
 
 class _BadRequest(Exception):
     """A client error carried to the HTTP layer as a 400 row."""
+
+
+class _DeadlineExceeded(Exception):
+    """A request budget expired: 408 (client budget) or 504 (server's)."""
+
+    def __init__(self, status: int, budget: float):
+        self.status = status
+        self.budget = budget
+        super().__init__(
+            f"request budget of {budget:g}s exceeded; partial work cancelled"
+        )
+
+
+class _Response:
+    """One rendered HTTP response (status, body, headers)."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: Mapping[str, str] | None = None,
+    ):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+
+def _json_response(
+    status: int, payload: Any, headers: Mapping[str, str] | None = None
+) -> _Response:
+    return _Response(
+        status, json.dumps(payload).encode("utf-8"), headers=headers
+    )
 
 
 def _parse_body(body: bytes) -> Mapping[str, Any]:
@@ -148,7 +219,16 @@ def _single_request(
 
 
 class EstimationServer:
-    """The asyncio HTTP server over one registry + micro-batcher."""
+    """The asyncio HTTP server over one registry + micro-batcher.
+
+    Hardening knobs (all optional; ``None``/default = pre-hardening
+    behavior): ``max_queue`` / ``max_pending`` bound the micro-batcher's
+    queued requests per group / in total, ``default_budget`` is the
+    server-wide deadline (seconds) applied to requests that bring no
+    ``budget_seconds`` of their own, ``answer_cache_size`` sizes the
+    memoized answer cache (0 disables it), and ``fault_injection``
+    enables the ``POST /_fault`` test surface.
+    """
 
     def __init__(
         self,
@@ -157,15 +237,147 @@ class EstimationServer:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         executor=None,
+        max_queue: int | None = None,
+        max_pending: int | None = None,
+        max_inflight: int | None = None,
+        default_budget: float | None = None,
+        answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE,
+        fault_injection: bool = False,
     ):
+        if default_budget is not None and default_budget <= 0:
+            raise ValueError("default_budget must be positive (or None)")
+        if answer_cache_size < 0:
+            raise ValueError("answer_cache_size must be >= 0")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be positive (or None)")
         self.registry = registry if registry is not None else SessionRegistry()
-        self.batcher = MicroBatcher(self.registry, executor=executor)
+        self.metrics = MetricsRegistry()
+        self._build_metrics()
+        self.batcher = MicroBatcher(
+            self.registry,
+            executor=executor,
+            max_queue=max_queue,
+            max_pending=max_pending,
+            on_batch=self._observe_batch,
+        )
+        self.default_budget = default_budget
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self.answer_cache = (
+            AnswerCache(answer_cache_size) if answer_cache_size else None
+        )
+        self.fault_injection = fault_injection
+        self._faults: dict[str, float] = {"slow_seconds": 0.0}
         self.host = host
         self.port = port
         self.address: tuple[str, int] | None = None
         self.requests_served = 0
         self._server: asyncio.AbstractServer | None = None
         self._started_at: float | None = None
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def _build_metrics(self) -> None:
+        metrics = self.metrics
+        self._m_requests = metrics.counter(
+            "repro_requests_total",
+            "HTTP requests handled, by endpoint and status code.",
+            ("endpoint", "status"),
+        )
+        self._m_request_seconds = metrics.histogram(
+            "repro_request_seconds",
+            "Wall-clock HTTP request handling latency in seconds, by "
+            "endpoint and status (admitted latency is the status=200 series).",
+            LATENCY_BUCKETS,
+            ("endpoint", "status"),
+        )
+        self._m_batch_seconds = metrics.histogram(
+            "repro_batch_seconds",
+            "Coalesced batch execution latency in seconds, by group key prefix.",
+            LATENCY_BUCKETS,
+            ("group",),
+        )
+        self._m_batch_width = metrics.histogram(
+            "repro_batch_width",
+            "Estimation requests coalesced into one batch pass.",
+            WIDTH_BUCKETS,
+        )
+        self._m_rejected = metrics.counter(
+            "repro_rejected_total",
+            "Requests refused admission, by reason.",
+            ("reason",),
+        )
+        metrics.counter(
+            "repro_estimates_served_total",
+            "Estimation request rows served (cache hits included).",
+            callback=lambda: self.requests_served,
+        )
+        metrics.gauge(
+            "repro_sessions",
+            "Warm sessions currently held by the registry.",
+            callback=lambda: len(self.registry.handles()),
+        )
+        metrics.counter(
+            "repro_registry_hits_total",
+            "Warm session registry hits.",
+            callback=lambda: self.registry.hits,
+        )
+        metrics.counter(
+            "repro_registry_misses_total",
+            "Warm session registry misses (cold admissions).",
+            callback=lambda: self.registry.misses,
+        )
+        metrics.counter(
+            "repro_registry_evictions_total",
+            "Warm sessions evicted from the registry LRU.",
+            callback=lambda: self.registry.evictions,
+        )
+        metrics.counter(
+            "repro_answer_cache_hits_total",
+            "Answer cache hits.",
+            callback=lambda: self.answer_cache.hits if self.answer_cache else 0,
+        )
+        metrics.counter(
+            "repro_answer_cache_misses_total",
+            "Answer cache misses.",
+            callback=lambda: self.answer_cache.misses if self.answer_cache else 0,
+        )
+        metrics.counter(
+            "repro_answer_cache_poisoned_total",
+            "Answer cache entries dropped after digest verification failed.",
+            callback=lambda: self.answer_cache.poisoned if self.answer_cache else 0,
+        )
+        metrics.gauge(
+            "repro_answer_cache_entries",
+            "Answer cache entries currently held.",
+            callback=lambda: len(self.answer_cache) if self.answer_cache else 0,
+        )
+        metrics.gauge(
+            "repro_inflight_requests",
+            "Estimation endpoint requests currently being handled.",
+            callback=lambda: self._inflight,
+        )
+        metrics.gauge(
+            "repro_pending_requests",
+            "Estimation requests queued in the micro-batcher.",
+            callback=lambda: self.batcher._pending_total,
+        )
+        # The loadtest harness uses this as the server-lifetime marker: a
+        # decrease between scrapes means a restart, which legitimately
+        # resets every counter above.
+        metrics.gauge(
+            "repro_uptime_seconds",
+            "Seconds since this server process started serving.",
+            callback=lambda: (
+                0.0
+                if self._started_at is None
+                else time.monotonic() - self._started_at
+            ),
+        )
+
+    def _observe_batch(self, key: str, seconds: float, width: int) -> None:
+        self._m_batch_seconds.labels(key[:12]).observe(seconds)
+        self._m_batch_width.observe(width)
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -204,74 +416,175 @@ class EstimationServer:
 
     async def _handle_connection(self, reader, writer) -> None:
         try:
-            status, payload = await self._handle_request(reader)
-        except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
+            response = await asyncio.wait_for(
+                self._handle_request(reader), READ_TIMEOUT_SECONDS
+            )
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionError,
+            asyncio.LimitOverrunError,
+            ValueError,  # readline() wraps over-long header lines in this
+        ):
             writer.close()
             return
         except Exception as error:  # pragma: no cover - defensive backstop
-            status, payload = 500, {"error": f"internal error: {error}"}
-        body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("ascii")
+            response = _json_response(500, {"error": f"internal error: {error}"})
+        head_lines = [
+            f"HTTP/1.1 {response.status} {_STATUS_TEXT.get(response.status, 'Error')}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+        ]
+        head_lines.extend(f"{name}: {value}" for name, value in response.headers.items())
+        head_lines.append("Connection: close")
+        head = ("\r\n".join(head_lines) + "\r\n\r\n").encode("ascii")
         try:
-            writer.write(head + body)
+            writer.write(head + response.body)
             await writer.drain()
             writer.close()
             await writer.wait_closed()
         except (ConnectionError, BrokenPipeError):  # pragma: no cover - client gone
             pass
 
-    async def _handle_request(self, reader) -> tuple[int, Any]:
-        request_line = (await reader.readline()).decode("latin-1").strip()
+    async def _handle_request(self, reader) -> _Response:
+        # The whole head arrives in one readuntil: under a rejection
+        # flood every await is an event-loop round trip, and a
+        # line-by-line header loop costs ~10 of them per connection.
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial.strip():
+                raise ConnectionError("empty request") from None
+            raise
+        lines = head.decode("latin-1").split("\r\n")
+        request_line = lines[0].strip()
         if not request_line:
             raise ConnectionError("empty request")
         parts = request_line.split()
         if len(parts) != 3:
-            return 400, {"error": f"malformed request line {request_line!r}"}
+            return self._finish(
+                "other",
+                _json_response(400, {"error": f"malformed request line {request_line!r}"}),
+                time.perf_counter(),
+            )
         method, target, _ = parts
+        path = target.split("?", 1)[0]
+        started = time.perf_counter()
         length = 0
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
             if name.strip().lower() == "content-length":
                 try:
                     length = int(value.strip())
                 except ValueError:
                     length = -1
                 if length < 0:
-                    return 400, {"error": "malformed Content-Length"}
+                    return self._finish(
+                        self._endpoint_label(path),
+                        _json_response(400, {"error": "malformed Content-Length"}),
+                        started,
+                    )
         if length > MAX_BODY_BYTES:
-            return 413, {"error": f"request body over {MAX_BODY_BYTES} bytes"}
+            return self._finish(
+                self._endpoint_label(path),
+                _json_response(
+                    413, {"error": f"request body over {MAX_BODY_BYTES} bytes"}
+                ),
+                started,
+            )
         body = await reader.readexactly(length) if length else b""
-        return await self._dispatch(method, target.split("?", 1)[0], body)
+        response = await self._dispatch(method, path, body)
+        return self._finish(self._endpoint_label(path), response, started)
+
+    def _endpoint_label(self, path: str) -> str:
+        """Known route paths verbatim; everything else pooled (bounded
+        label cardinality — callers must not mint metric series)."""
+        return path if path in self._routes() else "other"
+
+    def _finish(self, endpoint: str, response: _Response, started: float) -> _Response:
+        self._m_requests.labels(endpoint, str(response.status)).inc()
+        self._m_request_seconds.labels(endpoint, str(response.status)).observe(
+            time.perf_counter() - started
+        )
+        return response
 
     # -- routing -----------------------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, Any]:
+    def _routes(self) -> dict[str, tuple[str, Callable]]:
         routes = {
             "/healthz": ("GET", self._healthz),
             "/stats": ("GET", self._stats),
+            "/metrics": ("GET", self._metrics_endpoint),
             "/estimate": ("POST", self._estimate),
             "/answers": ("POST", self._answers),
         }
+        if self.fault_injection:
+            routes["/_fault"] = ("POST", self._fault)
+        return routes
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> _Response:
+        routes = self._routes()
         route = routes.get(path)
         if route is None:
-            return 404, {"error": f"unknown path {path!r}", "paths": sorted(routes)}
+            return _json_response(
+                404, {"error": f"unknown path {path!r}", "paths": sorted(routes)}
+            )
         expected, endpoint = route
         if method != expected:
-            return 405, {"error": f"{path} expects {expected}"}
+            return _json_response(405, {"error": f"{path} expects {expected}"})
         try:
             if expected == "GET":
-                return 200, endpoint()
-            return 200, await endpoint(_parse_body(body))
+                result = endpoint()
+            elif path in ("/estimate", "/answers"):
+                result = await self._admit_request(endpoint, body)
+            else:
+                result = await endpoint(_parse_body(body))
         except _BadRequest as error:
-            return 400, {"error": str(error)}
+            return _json_response(400, {"error": str(error)})
+        except QueueFull as error:
+            self._m_rejected.labels("queue_full").inc()
+            return _json_response(
+                429,
+                {
+                    "error": str(error),
+                    "retry_after_seconds": error.retry_after,
+                },
+                headers={"Retry-After": str(error.retry_after)},
+            )
+        except _DeadlineExceeded as error:
+            return _json_response(error.status, {"error": str(error)})
+        if isinstance(result, _Response):
+            return result
+        return _json_response(200, result)
+
+    async def _admit_request(self, endpoint, body: bytes):
+        """Run one estimation endpoint under the ``max_inflight`` bound.
+
+        Body parsing, instance construction, and cache-key hashing all
+        run on the event loop, so *connection-level* concurrency — not
+        just the batcher queue — needs an admission bound: without one,
+        every concurrent request waits behind the CPU work of all the
+        others (head-of-line blocking the batcher bounds cannot see).
+        The check runs *before* the body is parsed, so a rejected
+        request costs almost nothing.  Single-threaded event loop, so
+        the counter needs no lock.
+        """
+        if self.max_inflight is not None and self._inflight >= self.max_inflight:
+            raise QueueFull(
+                "inflight",
+                self._inflight,
+                self.max_inflight,
+                self.batcher.retry_after_hint(self._inflight),
+            )
+        self._inflight += 1
+        try:
+            return await endpoint(_parse_body(body))
+        finally:
+            self._inflight -= 1
+
+    # -- monitoring endpoints ----------------------------------------------------------
 
     def _healthz(self) -> dict:
         return {
@@ -281,21 +594,100 @@ class EstimationServer:
         }
 
     def _stats(self) -> dict:
-        return {
+        document = {
             "requests_served": self.requests_served,
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "default_budget": self.default_budget,
+            "max_inflight": self.max_inflight,
+            "inflight": self._inflight,
             "registry": self.registry.stats(),
             "batching": self.batcher.stats(),
+            "answer_cache": (
+                self.answer_cache.stats() if self.answer_cache else None
+            ),
         }
+        if self.fault_injection:
+            document["faults"] = dict(self._faults)
+        return document
+
+    def _metrics_endpoint(self) -> _Response:
+        return _Response(
+            200,
+            self.metrics.render().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- fault injection (test surface) ------------------------------------------------
+
+    async def _fault(self, document: Mapping[str, Any]) -> dict:
+        """Inject operational faults (only routed with ``fault_injection``)."""
+        report: dict[str, Any] = {}
+        if document.get("reset"):
+            self._faults["slow_seconds"] = 0.0
+            report["reset"] = True
+        if "slow_seconds" in document:
+            value = document["slow_seconds"]
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise _BadRequest("'slow_seconds' must be a non-negative number")
+            self._faults["slow_seconds"] = float(value)
+        if document.get("poison_cache"):
+            if self.answer_cache is None:
+                raise _BadRequest("answer cache is disabled; nothing to poison")
+            count = document.get("poison_count")
+            if count is not None and (not isinstance(count, int) or count < 0):
+                raise _BadRequest("'poison_count' must be a non-negative integer")
+            report["poisoned_entries"] = self.answer_cache.poison(count)
+        report["faults"] = dict(self._faults)
+        return report
+
+    # -- estimation endpoints ----------------------------------------------------------
+
+    def _budget_for(self, document: Mapping[str, Any]) -> tuple[float | None, int]:
+        """``(budget seconds or None, status on expiry)`` for a document.
+
+        A client-supplied ``budget_seconds`` expires as 408 (the client
+        asked for the deadline); the server-wide ``default_budget``
+        expires as 504.  A client budget is capped by the server's.
+        """
+        raw = document.get("budget_seconds")
+        if raw is None:
+            return self.default_budget, 504
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+            raise _BadRequest("'budget_seconds' must be a positive number")
+        budget = float(raw)
+        if self.default_budget is not None:
+            budget = min(budget, self.default_budget)
+        return budget, 408
+
+    async def _with_budget(self, document: Mapping[str, Any], work):
+        """Run ``work()`` under the document's deadline budget.
+
+        Expiry cancels the awaited work — queued micro-batcher waiters
+        are dropped before execution (see ``batching._pop_round``), so a
+        timed-out request stops consuming capacity.
+        """
+        budget, status = self._budget_for(document)
+        delay = self._faults["slow_seconds"]
+
+        async def timed():
+            if delay:
+                await asyncio.sleep(delay)
+            return await work()
+
+        if budget is None:
+            return await timed()
+        try:
+            return await asyncio.wait_for(timed(), budget)
+        except asyncio.TimeoutError:
+            self._m_rejected.labels("deadline").inc()
+            raise _DeadlineExceeded(status, budget) from None
 
     async def _estimate(self, document: Mapping[str, Any]) -> dict:
         requests, mode = _estimate_requests(document)
-        results = await self._run(requests, mode)
-        return {
-            "mode": mode,
-            "count": len(results),
-            "results": batch_results_to_rows(results),
-        }
+        rows = await self._with_budget(
+            document, lambda: self._run_rows(requests, mode)
+        )
+        return {"mode": mode, "count": len(rows), "results": rows}
 
     async def _answers(self, document: Mapping[str, Any]) -> dict:
         if "answer" in document:
@@ -304,15 +696,64 @@ class EstimationServer:
                 "use /estimate to score one answer"
             )
         requests, mode = _single_request(document, force_all_answers=True)
-        results = await self._run(requests, mode)
+        rows = await self._with_budget(
+            document, lambda: self._run_rows(requests, mode)
+        )
         query = requests[0].query if requests else document.get("query")
         generator = requests[0].generator.name if requests else None
         return {
             "query": str(query),
             "generator": generator,
             "mode": mode,
-            "answers": batch_results_to_rows(results),
+            "answers": rows,
         }
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _cache_key(self, request: BatchRequest, mode: str) -> tuple:
+        """Everything that determines a served row, hashable."""
+        return (
+            self.registry.key_for(
+                request.database, request.constraints, request.generator
+            ),
+            request.query,
+            request.answer,
+            request.epsilon,
+            request.delta,
+            request.method,
+            request.max_samples,
+            request.label,
+            mode,
+            self.registry.backend,
+        )
+
+    async def _run_rows(
+        self, requests: list[BatchRequest], mode: str
+    ) -> list[dict]:
+        """Serve every request as a JSON row: answer cache, then batcher."""
+        rows: list[dict | None] = [None] * len(requests)
+        use_cache = self.answer_cache is not None and self.registry.seed is not None
+        keys: list[tuple | None] = [None] * len(requests)
+        pending: list[tuple[int, BatchRequest]] = []
+        if use_cache:
+            for position, request in enumerate(requests):
+                keys[position] = self._cache_key(request, mode)
+                cached = self.answer_cache.get(keys[position])
+                if cached is not None:
+                    rows[position] = cached
+                else:
+                    pending.append((position, request))
+        else:
+            pending = list(enumerate(requests))
+        if pending:
+            outcomes = await self._run([request for _, request in pending], mode)
+            for (position, _), outcome in zip(pending, outcomes):
+                row = batch_result_to_row(outcome)
+                rows[position] = row
+                if use_cache:
+                    self.answer_cache.put(keys[position], row)
+        self.requests_served += len(requests)
+        return rows  # type: ignore[return-value]  # every slot is filled above
 
     async def _run(
         self, requests: list[BatchRequest], mode: str
@@ -336,7 +777,6 @@ class EstimationServer:
         for members, chunk in zip(groups.values(), chunks):
             for (position, _), outcome in zip(members, chunk):
                 results[position] = outcome
-        self.requests_served += len(requests)
         return results  # type: ignore[return-value]  # every slot is filled above
 
 
@@ -349,6 +789,12 @@ def serve(
     backend: str = "auto",
     max_sessions: int | None = None,
     use_kernel: bool = True,
+    max_queue: int | None = None,
+    max_pending: int | None = None,
+    max_inflight: int | None = None,
+    default_budget: float | None = None,
+    answer_cache_size: int | None = None,
+    fault_injection: bool = False,
 ) -> int:
     """Run the estimation service until interrupted (the CLI entry point).
 
@@ -357,6 +803,13 @@ def serve(
     ``KeyboardInterrupt`` shutdown (warm sessions are spilled to the
     cache store first).
     """
+    # A mixed IO/CPU process: under a request flood the event-loop
+    # thread would otherwise keep the GIL for the default 5 ms switch
+    # interval while an executor thread sits mid-batch — measured to
+    # inflate a ~0.1 ms batch to ~3 ms wall and admitted tail latency
+    # by 10x.  A finer interval trades a sliver of throughput for
+    # bounded tails; process-wide, so set only in this CLI entry point.
+    sys.setswitchinterval(0.001)
     registry = SessionRegistry(
         seed=seed,
         cache_dir=cache_dir,
@@ -366,7 +819,21 @@ def serve(
     )
 
     async def _main() -> None:
-        server = EstimationServer(registry, host=host, port=port)
+        server = EstimationServer(
+            registry,
+            host=host,
+            port=port,
+            max_queue=max_queue,
+            max_pending=max_pending,
+            max_inflight=max_inflight,
+            default_budget=default_budget,
+            answer_cache_size=(
+                DEFAULT_ANSWER_CACHE_SIZE
+                if answer_cache_size is None
+                else answer_cache_size
+            ),
+            fault_injection=fault_injection,
+        )
         bound_host, bound_port = await server.start()
         print(
             f"repro estimation service on http://{bound_host}:{bound_port} "
@@ -392,11 +859,14 @@ def serve(
 class BackgroundServer:
     """An :class:`EstimationServer` on a daemon thread, for embedding.
 
-    The harness tests, the E27 bench and the CI smoke job all use this:
-    ``with BackgroundServer(seed=7) as server:`` yields a bound server
-    (ephemeral port by default) whose :attr:`url` a
+    The harness tests, the E27/E29 benches and the CI smoke jobs all use
+    this: ``with BackgroundServer(seed=7) as server:`` yields a bound
+    server (ephemeral port by default) whose :attr:`url` a
     :class:`~repro.service.client.ServiceClient` can hit from any
     thread; exiting stops the loop and spills warm sessions.
+    ``server_options`` forwards hardening knobs (``max_queue``,
+    ``max_pending``, ``default_budget``, ``answer_cache_size``,
+    ``fault_injection``) to the :class:`EstimationServer`.
     """
 
     def __init__(
@@ -405,6 +875,7 @@ class BackgroundServer:
         *,
         host: str = DEFAULT_HOST,
         port: int = 0,
+        server_options: Mapping[str, Any] | None = None,
         **registry_options,
     ):
         if registry is not None and registry_options:
@@ -412,7 +883,9 @@ class BackgroundServer:
         self.registry = (
             registry if registry is not None else SessionRegistry(**registry_options)
         )
-        self.server = EstimationServer(self.registry, host=host, port=port)
+        self.server = EstimationServer(
+            self.registry, host=host, port=port, **dict(server_options or {})
+        )
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None

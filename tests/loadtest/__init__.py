@@ -1,0 +1,2 @@
+"""Load-test harness coverage: pure unit tests for the scoring
+machinery, a tier-1 smoke run, and the tier-2 full saturation leg."""

@@ -1,0 +1,282 @@
+"""Unit tests for the load-test harness machinery — no server involved.
+
+The harness's verdicts are only as trustworthy as its scoring code, so
+the quantile interpolation, the monotonicity checker (including the
+restart-aware lifetime split), the expected-row labeling rule, and every
+``_score`` failure branch are pinned here with synthetic data.
+"""
+
+import json
+
+import pytest
+
+from repro.service.loadtest import (
+    LoadTestConfig,
+    LoadTestReport,
+    _admitted_latency_buckets,
+    _build_mix,
+    _expected_row,
+    _histogram_p99,
+    _percentile,
+    _Recorder,
+    _Sample,
+    _score,
+    format_report,
+    monotonicity_violations,
+)
+
+
+def _bucket_key(bound: str, endpoint: str = "/estimate", status: str = "200") -> str:
+    # parse_metrics_text sorts label pieces alphabetically, so snapshots
+    # always key as endpoint,le,status.
+    return (
+        "repro_request_seconds_bucket{"
+        f'endpoint="{endpoint}",le="{bound}",status="{status}"'
+        "}"
+    )
+
+
+def _snapshot(counts: dict[str, float], **kwargs) -> dict[str, float]:
+    return {_bucket_key(bound, **kwargs): value for bound, value in counts.items()}
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_single_value(self):
+        assert _percentile([0.25], 0.99) == 0.25
+
+    def test_p99_of_hundred(self):
+        values = [i / 1000 for i in range(1, 101)]
+        assert _percentile(values, 0.99) == pytest.approx(0.099)
+
+    def test_median(self):
+        assert _percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestAdmittedLatencyBuckets:
+    def test_filters_to_admitted_estimate_series(self):
+        snapshot = {
+            **_snapshot({"0.1": 4, "+Inf": 4}),
+            **_snapshot({"0.1": 9, "+Inf": 9}, status="429"),
+            **_snapshot({"0.1": 2, "+Inf": 2}, endpoint="/answers"),
+            "repro_requests_total": 15,
+        }
+        assert _admitted_latency_buckets(snapshot) == {0.1: 4, float("inf"): 4}
+
+
+class TestHistogramP99:
+    def test_interpolates_within_the_target_bucket(self):
+        before = _snapshot({"0.1": 0, "1": 0, "+Inf": 0})
+        after = _snapshot({"0.1": 50, "1": 100, "+Inf": 100})
+        # target = 99 of 100: 49/50 of the way through (0.1, 1.0].
+        assert _histogram_p99(before, after) == pytest.approx(0.982)
+
+    def test_diffs_out_preexisting_counts(self):
+        before = _snapshot({"0.1": 40, "1": 40, "+Inf": 40})
+        after = _snapshot({"0.1": 140, "1": 140, "+Inf": 140})
+        # All 100 new observations landed <= 0.1.
+        assert _histogram_p99(before, after) <= 0.1
+
+    def test_mass_beyond_finite_bounds_reports_largest_finite(self):
+        before = _snapshot({"0.1": 0, "1": 0, "+Inf": 0})
+        after = _snapshot({"0.1": 0, "1": 0, "+Inf": 100})
+        assert _histogram_p99(before, after) == 1.0
+
+    def test_no_observations_is_zero(self):
+        flat = _snapshot({"0.1": 7, "+Inf": 7})
+        assert _histogram_p99(flat, flat) == 0.0
+        assert _histogram_p99({}, {}) == 0.0
+
+    def test_lower_quantiles(self):
+        before = _snapshot({"0.1": 0, "1": 0, "+Inf": 0})
+        after = _snapshot({"0.1": 50, "1": 100, "+Inf": 100})
+        assert _histogram_p99(before, after, q=0.5) == pytest.approx(0.1)
+
+
+class TestMonotonicityViolations:
+    def test_increasing_series_pass(self):
+        snapshots = [
+            {"repro_requests_total": 1, "repro_uptime_seconds": 1.0},
+            {"repro_requests_total": 5, "repro_uptime_seconds": 2.0},
+        ]
+        assert monotonicity_violations(snapshots) == []
+
+    def test_decrease_is_reported(self):
+        snapshots = [
+            {"repro_requests_total": 5, "repro_uptime_seconds": 1.0},
+            {"repro_requests_total": 3, "repro_uptime_seconds": 2.0},
+        ]
+        violations = monotonicity_violations(snapshots)
+        assert len(violations) == 1
+        assert "repro_requests_total" in violations[0]
+
+    def test_restart_splits_lifetimes(self):
+        # Counters legitimately reset when the kill fault restarts the
+        # server; the uptime gauge going backwards marks the boundary.
+        snapshots = [
+            {"repro_requests_total": 50, "repro_uptime_seconds": 9.0},
+            {"repro_requests_total": 2, "repro_uptime_seconds": 0.3},
+            {"repro_requests_total": 4, "repro_uptime_seconds": 1.1},
+        ]
+        assert monotonicity_violations(snapshots) == []
+
+    def test_decrease_within_second_lifetime_still_caught(self):
+        snapshots = [
+            {"repro_requests_total": 50, "repro_uptime_seconds": 9.0},
+            {"repro_requests_total": 6, "repro_uptime_seconds": 0.3},
+            {"repro_requests_total": 4, "repro_uptime_seconds": 1.1},
+        ]
+        assert len(monotonicity_violations(snapshots)) == 1
+
+    def test_gauges_may_move_freely(self):
+        snapshots = [
+            {"repro_sessions": 4, "repro_uptime_seconds": 1.0},
+            {"repro_sessions": 1, "repro_uptime_seconds": 2.0},
+        ]
+        assert monotonicity_violations(snapshots) == []
+
+    def test_histogram_buckets_and_sums_are_monotone_series(self):
+        snapshots = [
+            {_bucket_key("0.1"): 5, "repro_request_seconds_sum": 2.0},
+            {_bucket_key("0.1"): 4, "repro_request_seconds_sum": 1.5},
+        ]
+        assert len(monotonicity_violations(snapshots)) == 2
+
+
+class TestMix:
+    def test_mix_is_deterministic_and_uniquely_labeled(self):
+        config = LoadTestConfig()
+        first = _build_mix(config)
+        second = _build_mix(config)
+        assert [item.expected for item in first] == [item.expected for item in second]
+        labels = [item.request.label for item in first]
+        assert len(set(labels)) == len(labels)
+
+    def test_expected_row_swaps_only_the_label_field(self):
+        item = _build_mix(LoadTestConfig())[0]
+        assert _expected_row(item, item.request.label) is item.expected
+        relabeled = _expected_row(item, "swarm-label")
+        assert relabeled["instance"] == "swarm-label"
+        for key, value in item.expected.items():
+            if key != "instance":
+                assert relabeled[key] == value
+
+
+def _clean_report(**overrides) -> LoadTestReport:
+    """A report that scores PASS unless an override breaks it."""
+    report = LoadTestReport(config={})
+    report.unloaded_p99 = 0.002
+    report.overload_admitted_p99 = 0.004
+    report.overload_rejected = 10
+    report.poisoned_detected = 3
+    report.deadline_hits = 2
+    report.malformed_probes = 5
+    for key, value in overrides.items():
+        setattr(report, key, value)
+    return report
+
+
+class TestScore:
+    def _score(self, report, *, config=None, recorder=None, stats=None):
+        _score(config or LoadTestConfig(), report, recorder or _Recorder(), stats or {})
+        return report
+
+    def test_clean_run_passes(self):
+        report = self._score(_clean_report())
+        assert report.ok and report.failures == []
+
+    def test_bit_identity_mismatch_fails(self):
+        recorder = _Recorder()
+        recorder.mismatches.append("warm/x: served {} != offline {}")
+        report = self._score(_clean_report(), recorder=recorder)
+        assert any("bit-identity" in failure for failure in report.failures)
+
+    def test_missing_retry_after_fails(self):
+        report = self._score(_clean_report(rejected_missing_retry_after=2))
+        assert any("Retry-After" in failure for failure in report.failures)
+
+    def test_bounded_server_must_reject_under_overload(self):
+        report = self._score(_clean_report(overload_rejected=0))
+        assert any("backpressure" in failure for failure in report.failures)
+        # An unbounded server is allowed to admit everything.
+        unbounded = LoadTestConfig(max_queue=None, max_pending=None, max_inflight=None)
+        report = self._score(_clean_report(overload_rejected=0), config=unbounded)
+        assert report.ok
+
+    def test_transport_errors_outside_fault_phase_fail(self):
+        recorder = _Recorder()
+        recorder.add(_Sample("overload", "transport", 0.1, 0))
+        report = self._score(_clean_report(transport_errors=1), recorder=recorder)
+        assert any("connection-level" in failure for failure in report.failures)
+
+    def test_fault_phase_transport_errors_allowed_only_with_kill(self):
+        recorder = _Recorder()
+        recorder.add(_Sample("faults", "transport", 0.1, 0))
+        report = self._score(_clean_report(transport_errors=1), recorder=recorder)
+        assert any("no kill fault" in failure for failure in report.failures)
+        recorder = _Recorder()
+        recorder.add(_Sample("faults", "transport", 0.1, 0))
+        report = self._score(
+            _clean_report(transport_errors=1),
+            config=LoadTestConfig(inject_kill=True),
+            recorder=recorder,
+        )
+        assert report.ok
+
+    def test_unexpected_http_errors_fail(self):
+        recorder = _Recorder()
+        recorder.add(_Sample("overload", "http_error", 0.1, 500))
+        report = self._score(_clean_report(), recorder=recorder)
+        assert any("unexpected HTTP errors" in failure for failure in report.failures)
+
+    def test_p99_degradation_fails_beyond_limit(self):
+        report = self._score(
+            _clean_report(unloaded_p99=0.002, overload_admitted_p99=0.05)
+        )
+        assert any("degraded" in failure for failure in report.failures)
+
+    def test_p99_check_can_be_disabled(self):
+        report = self._score(
+            _clean_report(unloaded_p99=0.002, overload_admitted_p99=0.05),
+            config=LoadTestConfig(check_p99=False),
+        )
+        assert report.ok
+
+    def test_undetected_poison_fails(self):
+        report = self._score(_clean_report(poisoned_detected=0))
+        assert any("poisoned" in failure for failure in report.failures)
+
+    def test_missing_deadline_hits_fail_when_slow_fault_enabled(self):
+        report = self._score(_clean_report(deadline_hits=0))
+        assert any("deadline" in failure for failure in report.failures)
+
+    def test_metrics_violations_fail(self):
+        report = self._score(_clean_report(metrics_violations=["c: 5 -> 3"]))
+        assert any("monotonicity" in failure for failure in report.failures)
+
+    def test_residual_pending_queue_fails(self):
+        report = self._score(
+            _clean_report(), stats={"batching": {"pending_requests": 99}}
+        )
+        assert any("pending requests" in failure for failure in report.failures)
+
+
+class TestReportRendering:
+    def test_format_report_pass_and_fail(self):
+        report = _clean_report()
+        text = format_report(report)
+        assert text.startswith("loadtest PASS")
+        assert "bit identity" in text
+        report.failures.append("something broke")
+        text = format_report(report)
+        assert text.startswith("loadtest FAIL")
+        assert "FAIL: something broke" in text
+
+    def test_to_dict_is_json_native(self):
+        report = _clean_report()
+        document = json.loads(json.dumps(report.to_dict()))
+        assert document["ok"] is True
+        assert document["overload_rejected"] == 10
+        assert document["failures"] == []

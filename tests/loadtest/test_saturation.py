@@ -1,0 +1,31 @@
+"""The full saturation leg: every fault on, p99 bound enforced.
+
+Runs the harness at its real defaults against a ``python -m repro
+serve`` subprocess, with slow handlers, cache poisoning, malformed
+bodies, *and* a SIGKILL-ed worker restarted mid-storm.  ~15 s of
+wall-clock load plus subprocess startup, so it rides the scheduled
+``tier2`` lane next to ``audit-full`` rather than the per-PR gate
+(which runs the scaled smoke in ``test_smoke.py`` instead).
+"""
+
+import pytest
+
+from repro.service import run_loadtest
+from repro.service.loadtest import LoadTestConfig, format_report
+
+pytestmark = pytest.mark.tier2
+
+
+def test_full_saturation_with_all_faults():
+    report = run_loadtest(LoadTestConfig(inject_kill=True))
+    assert report.ok, format_report(report)
+    # Saturation really was exceeded and handled: admitted + rejected
+    # offered load, rejections carried Retry-After, and every admitted
+    # row stayed bit-identical to the offline batch across the restart.
+    assert report.overload_rejected > 0
+    assert report.rejected_missing_retry_after == 0
+    assert report.bit_identity_checked > 0
+    assert report.bit_identity_failures == 0
+    assert report.poisoned_detected > 0
+    assert report.deadline_hits > 0
+    assert report.metrics_violations == []
