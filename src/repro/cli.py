@@ -455,8 +455,17 @@ def _arguments_serve(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--enable-fault-injection",
         action="store_true",
-        help="expose POST /_fault (slow handlers, cache poisoning) for the "
-        "loadtest harness; never enable on a real deployment",
+        help="expose POST /_fault (slow handlers, cache poisoning, worker "
+        "kills) for the loadtest harness; never enable on a real deployment",
+    )
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the service across N warm worker processes (one "
+        "SessionRegistry per shard, routed by consistent-hashing the "
+        "instance cache key; default: single-process). Served rows are "
+        "bit-identical at any worker count",
     )
 
 
@@ -476,6 +485,7 @@ def command_serve(args: argparse.Namespace) -> int:
         default_budget=args.default_budget,
         answer_cache_size=args.answer_cache_size,
         fault_injection=args.enable_fault_injection,
+        workers=args.workers,
     )
 
 
@@ -525,6 +535,28 @@ def _arguments_loadtest(subparser: argparse.ArgumentParser) -> None:
         help="also SIGKILL and restart the server subprocess mid-storm",
     )
     subparser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run the spawned server sharded across N worker processes "
+        "(default 0: single-process; ignored with --url)",
+    )
+    subparser.add_argument(
+        "--kill-worker", action="store_true",
+        help="also SIGKILL one worker shard mid-storm via POST /_fault "
+        "(requires --workers >= 1; the router must respawn it with served "
+        "rows still bit-identical)",
+    )
+    subparser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="client sleep after a 429 rejection before retrying "
+        "(default 0.05 s — tuned for a single-core server; raise or "
+        "lower to match the deployment's drain rate)",
+    )
+    subparser.add_argument(
         "--no-slow", dest="slow", action="store_false",
         help="skip the slow-handler + deadline-budget fault",
     )
@@ -560,11 +592,14 @@ def command_loadtest(args: argparse.Namespace) -> int:
         fault_seconds=3.0 * args.scale,
         max_pending=args.max_pending,
         max_inflight=args.max_inflight,
+        workers=args.workers if args.url is None else 0,
         inject_slow=args.slow,
         inject_poison=args.poison,
         inject_malformed=args.malformed,
         inject_kill=args.kill and args.url is None,
+        inject_worker_kill=args.kill_worker and args.url is None,
         check_p99=args.p99_check,
+        reject_backoff_seconds=args.backoff,
     )
     if args.clients is not None:
         config.overload_clients = args.clients

@@ -180,11 +180,14 @@ class SamplePool:
         plane=None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         preloaded_rows=None,
+        shared: bool = False,
     ):
         if (draw is None) == (plane is None):
             raise TypeError("exactly one of draw= and plane= is required")
         if plane is not None and index is None:
             raise TypeError("vector pools require an InstanceIndex")
+        if shared and plane is None:
+            raise TypeError("shared= requires a vector plane")
         if preloaded_rows is not None and (plane is None or preloaded is not None):
             raise TypeError(
                 "preloaded_rows= is the vector-pool fast path (exclusive "
@@ -199,6 +202,8 @@ class SamplePool:
         self._samples: list[frozenset[Fact] | int] = list(preloaded or ())
         self._rows = None  # capacity-doubling packed matrix (vector pools)
         self._rows_length = 0  # valid rows in ``_rows``
+        self._shared = shared
+        self._segment = None  # SharedSampleSegment backing ``_rows`` when shared
         self._mask_prefix_cache: tuple[int, tuple[int, ...]] = (0, ())
         self._facts_prefix_cache: tuple[int, tuple[frozenset[Fact], ...]] = (0, ())
         if plane is not None:
@@ -265,18 +270,60 @@ class SamplePool:
             self._samples.extend([None] * self._batch_size)
 
     def _append_rows(self, rows) -> None:
-        """Grow the packed matrix amortized-linearly (capacity doubling)."""
+        """Grow the packed matrix amortized-linearly (capacity doubling).
+
+        Shared pools grow by allocating a fresh
+        :class:`~repro.sampling.vectorized.SharedSampleSegment`, copying
+        the valid prefix, and releasing the outgrown segment (which
+        unlinks its OS object — only the current capacity ever lives in
+        ``/dev/shm``).
+        """
         numpy = vectorized_plane.np
         count = rows.shape[0]
         needed = self._rows_length + count
         if self._rows is None or needed > self._rows.shape[0]:
             capacity = max(needed, 2 * (self._rows.shape[0] if self._rows is not None else 0))
-            grown = numpy.empty((capacity, self._plane.words), dtype="<u8")
+            if self._shared:
+                segment = vectorized_plane.SharedSampleSegment.create(
+                    capacity, self._plane.words
+                )
+                grown = segment.rows()
+            else:
+                segment = None
+                grown = numpy.empty((capacity, self._plane.words), dtype="<u8")
             if self._rows_length:
                 grown[: self._rows_length] = self._rows[: self._rows_length]
             self._rows = grown
+            if self._segment is not None:
+                self._segment.release()
+            self._segment = segment
         self._rows[self._rows_length : needed] = rows
         self._rows_length = needed
+
+    @property
+    def shared_segment(self):
+        """The live shared-memory segment backing this pool (or ``None``)."""
+        return self._segment
+
+    def release_shared(self) -> str | None:
+        """Detach from shared memory, keeping the pool fully usable.
+
+        The valid prefix is copied into a private heap matrix *before*
+        the segment is released, so holders that keep using the pool
+        after eviction (the registry's documented contract) see identical
+        samples — only the shared backing goes away.  Returns the name of
+        the released segment, or ``None`` if the pool was not shared.
+        """
+        if self._segment is None:
+            self._shared = False
+            return None
+        name = self._segment.name
+        if self._rows is not None:
+            self._rows = self._rows[: self._rows_length].copy()
+        segment, self._segment = self._segment, None
+        self._shared = False
+        segment.release()
+        return name
 
     def _mask(self, position: int) -> int:
         """The ``position``-th mask, decoding a packed row on first touch."""
@@ -615,28 +662,38 @@ class EstimationSession:
         )
 
     def vector_pool(
-        self, seed: int | None = None, batch_size: int = DEFAULT_BATCH_SIZE
+        self,
+        seed: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        shared: bool = False,
     ) -> SamplePool:
-        """A vector-plane pool drawing in packed batches (requires numpy)."""
+        """A vector-plane pool drawing in packed batches (requires numpy).
+
+        ``shared=True`` backs the packed matrix with a
+        :class:`~repro.sampling.vectorized.SharedSampleSegment` so other
+        processes (and the cache store) can read the rows zero-copy.
+        """
         return SamplePool(
             plane=self.vector_plane(seed),
             index=self.index(),
             batch_size=batch_size,
+            shared=shared,
         )
 
-    def pool_for_seed(self, seed: int | None) -> SamplePool:
+    def pool_for_seed(self, seed: int | None, shared: bool = False) -> SamplePool:
         """A pool for an integer seed, on the session's resolved backend.
 
         The entry point :func:`~repro.engine.batch.batch_estimate` uses:
         the vector plane when :meth:`resolved_backend` says so, otherwise
         a scalar pool seeded ``random.Random(seed)`` (the exact PR-3
-        stream).
+        stream).  ``shared=`` applies to vector pools only — scalar pools
+        have no packed matrix to share and silently ignore it.
         """
         if self.resolved_backend() == "vector":
-            return self.vector_pool(seed)
+            return self.vector_pool(seed, shared=shared)
         return self.pool(random.Random(seed) if seed is not None else None)
 
-    def cached_pool(self, seed: int | None) -> SamplePool:
+    def cached_pool(self, seed: int | None, shared: bool = False) -> SamplePool:
         """A pool warm-started from the session's cache entry (if possible).
 
         Persisted samples preload the stream and drawing resumes where the
@@ -654,7 +711,7 @@ class EstimationSession:
         redrawn instead.
         """
         if self.cache is None or seed is None:
-            return self.pool_for_seed(seed)
+            return self.pool_for_seed(seed, shared=shared)
         backend = self.resolved_backend()
         if (
             self.backend == "auto"
@@ -663,7 +720,7 @@ class EstimationSession:
         ):
             backend = "scalar"
         if backend == "vector":
-            return self._cached_vector_pool(seed)
+            return self._cached_vector_pool(seed, shared=shared)
         return self._cached_scalar_pool(seed)
 
     def _cached_scalar_pool(self, seed: int) -> SamplePool:
@@ -693,7 +750,7 @@ class EstimationSession:
         self.cache.attach_pool(shared, rng)
         return shared
 
-    def _cached_vector_pool(self, seed: int) -> SamplePool:
+    def _cached_vector_pool(self, seed: int, shared: bool = False) -> SamplePool:
         rows = self.cache.sample_word_rows()
         if rows:
             if (
@@ -710,14 +767,15 @@ class EstimationSession:
             # The on-disk word row IS the matrix row: load it without any
             # bignum round trip (masks decode lazily if ever needed).
             preloaded_rows = vectorized_plane.np.array(rows, dtype="<u8")
-        shared = SamplePool(
+        pool = SamplePool(
             plane=self.vector_plane(seed),
             preloaded_rows=preloaded_rows,
             index=self.index(),
             batch_size=DEFAULT_BATCH_SIZE,
+            shared=shared,
         )
-        self.cache.attach_pool(shared, None)
-        return shared
+        self.cache.attach_pool(pool, None)
+        return pool
 
     # -- per-(query, answer) caches --------------------------------------------------
 

@@ -583,6 +583,19 @@ class CacheEntry:
         self._pool = pool
         self._rng = rng
 
+    def pool_segment_name(self) -> str | None:
+        """The shared-memory segment backing the attached pool, if any.
+
+        Sharded workers back their vector pools with
+        :class:`~repro.sampling.vectorized.SharedSampleSegment` matrices;
+        the store's v3 word row is that very matrix row, so
+        :meth:`_sync_pool` already reads the shared bytes zero-copy.
+        This accessor exposes the segment name for cross-process
+        attachment and for eviction tests; ``None`` for private pools.
+        """
+        segment = getattr(self._pool, "shared_segment", None) if self._pool else None
+        return segment.name if segment is not None else None
+
     def _sync_pool(self) -> None:
         drawn = len(self._pool)
         if drawn <= len(self._document["samples"]):

@@ -28,6 +28,13 @@ engine warm in a long-running process:
   ``/metrics``), started from the command line as
   ``python -m repro serve``, with admission control and per-request
   deadline budgets.
+* :class:`WorkerPool` / :class:`WorkerConfig` / :func:`shard_for_key` /
+  :func:`aggregate_shard_stats` (:mod:`repro.service.sharding`) — the
+  sharded multi-process plane (``serve --workers N``): one warm
+  registry per core behind the asyncio router, rendezvous-hashed
+  placement over the registry key, shared-memory sample pools,
+  SIGTERM drains, and respawn + re-warm of dead workers — with served
+  rows bit-identical at any worker count.
 * :class:`ServiceClient` (:mod:`repro.service.client`) — a small
   ``urllib``-based client for the HTTP API; every failure mode
   surfaces as :class:`ServiceClientError`.
@@ -62,6 +69,7 @@ from .loadtest import (
 from .metrics import MetricsRegistry, parse_metrics_text
 from .registry import DEFAULT_MAX_SESSIONS, SessionHandle, SessionRegistry
 from .server import DEFAULT_HOST, DEFAULT_PORT, BackgroundServer, EstimationServer, serve
+from .sharding import WorkerConfig, WorkerPool, aggregate_shard_stats, shard_for_key
 
 __all__ = [
     "AnswerCache",
@@ -81,8 +89,12 @@ __all__ = [
     "ServiceClientError",
     "SessionHandle",
     "SessionRegistry",
+    "WorkerConfig",
+    "WorkerPool",
+    "aggregate_shard_stats",
     "format_report",
     "parse_metrics_text",
     "run_loadtest",
     "serve",
+    "shard_for_key",
 ]

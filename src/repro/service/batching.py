@@ -289,6 +289,42 @@ class MicroBatcher:
                 outputs[position] = results[start:stop]
         return outputs  # type: ignore[return-value]  # every live waiter has a mode
 
+    # -- shutdown ----------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Wait until every queued waiter has been served.
+
+        The graceful-shutdown half of the batcher: awaits the live drain
+        tasks (which keep spawning rounds while work is pending) until no
+        pending requests and no running drains remain.  New submissions
+        arriving *during* the wait are drained too — callers that want a
+        hard stop should fence admissions first and use
+        :meth:`fail_pending` for whatever outlives their timeout.
+        """
+        while self._drain_tasks or self._pending_total:
+            tasks = list(self._drain_tasks)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            else:  # pending but no drain task yet: let it get scheduled
+                await asyncio.sleep(0)
+
+    def fail_pending(self, error: BaseException) -> int:
+        """Fail every still-queued waiter with ``error``; returns how many.
+
+        The forceful-shutdown half: dequeues everything (so drain rounds
+        find nothing) and resolves the waiters' futures exceptionally —
+        the server maps the error to a clean ``503`` instead of the
+        pre-fix behavior of silently dropping queued work when the loop
+        closed underneath it.
+        """
+        failed = 0
+        for key in list(self._pending):
+            for waiter in self._pop_round(key):
+                if not waiter.future.done():
+                    waiter.future.set_exception(error)
+                    failed += 1
+        return failed
+
     def stats(self) -> dict:
         """Coalescing, queue and rejection counters, JSON-native."""
         return {

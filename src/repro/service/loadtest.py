@@ -112,6 +112,14 @@ class LoadTestConfig:
     inject_poison: bool = True
     inject_malformed: bool = True
     inject_kill: bool = False
+    #: SIGKILL one shard worker mid-storm via ``POST /_fault`` (sharded
+    #: servers only — requires ``workers >= 1``).  Unlike
+    #: :attr:`inject_kill` the router stays up, so the respawn must be
+    #: *transparent*: no transport errors, no 5xx, bit-identical rows.
+    inject_worker_kill: bool = False
+    #: Shard worker processes for the owned server (``0`` = in-process
+    #: single registry, exactly the pre-sharding plane).
+    workers: int = 0
     # Degradation bound asserted on the (fault-free) overload phase.
     check_p99: bool = True
     p99_degradation_limit: float = 5.0
@@ -153,6 +161,8 @@ class LoadTestReport:
     bit_identity_checked: int = 0
     bit_identity_failures: int = 0
     rejected_missing_retry_after: int = 0
+    worker_kills: int = 0
+    worker_restarts: int = 0
     metrics_scrapes: int = 0
     metrics_violations: list[str] = field(default_factory=list)
     failures: list[str] = field(default_factory=list)
@@ -184,6 +194,8 @@ class LoadTestReport:
             "bit_identity_checked": self.bit_identity_checked,
             "bit_identity_failures": self.bit_identity_failures,
             "rejected_missing_retry_after": self.rejected_missing_retry_after,
+            "worker_kills": self.worker_kills,
+            "worker_restarts": self.worker_restarts,
             "metrics_scrapes": self.metrics_scrapes,
             "metrics_violations": self.metrics_violations,
             "failures": self.failures,
@@ -218,6 +230,12 @@ def format_report(report: LoadTestReport) -> str:
         f"  metrics             {report.metrics_scrapes} scrapes, "
         f"{len(report.metrics_violations)} monotonicity violations",
     ]
+    if report.worker_kills:
+        lines.insert(
+            -1,
+            f"  worker kills        {report.worker_kills} injected, "
+            f"{report.worker_restarts} respawns observed",
+        )
     for failure in report.failures:
         lines.append(f"  FAIL: {failure}")
     return "\n".join(lines)
@@ -267,6 +285,7 @@ class ServerProcess:
         default_budget: float | None = None,
         answer_cache_size: int | None = None,
         fault_injection: bool = True,
+        workers: int = 0,
         startup_timeout: float = 60.0,
     ):
         self.seed = seed
@@ -276,6 +295,7 @@ class ServerProcess:
         self.default_budget = default_budget
         self.answer_cache_size = answer_cache_size
         self.fault_injection = fault_injection
+        self.workers = workers
         self.startup_timeout = startup_timeout
         self.port = 0
         self.url: str | None = None
@@ -307,6 +327,8 @@ class ServerProcess:
             command += ["--answer-cache-size", str(self.answer_cache_size)]
         if self.fault_injection:
             command += ["--enable-fault-injection"]
+        if self.workers:
+            command += ["--workers", str(self.workers)]
         return command
 
     def start(self, port: int = 0) -> str:
@@ -755,6 +777,7 @@ def run_loadtest(
             default_budget=config.default_budget,
             answer_cache_size=config.answer_cache_size,
             fault_injection=True,
+            workers=config.workers,
         )
         owned.start()
     if server is not None:
@@ -874,6 +897,19 @@ def _run_phases(
         ).get("poisoned", 0)
     if config.inject_malformed:
         report.malformed_probes = _malformed_probes(url)
+    if config.inject_worker_kill:
+        # The router survives; the shard respawns.  Unlike the whole-
+        # process kill below, the storm keeps talking to the same
+        # listener throughout, so this fault must be invisible to
+        # clients — _score asserts the respawn happened and the usual
+        # transport/bit-identity invariants catch any leakage.
+        try:
+            killed = control._call("POST", "/_fault", {"kill_worker": 0})
+        except ServiceClientError as error:
+            report.failures.append(f"worker-kill fault was rejected: {error}")
+        else:
+            if killed.get("killed_pid"):
+                report.worker_kills += 1
     time.sleep(beat)
     if config.inject_kill and server is not None:
         server.restart()
@@ -889,6 +925,11 @@ def _run_phases(
         _call_item(control, item, item.request.label, phase="verify", recorder=recorder)
     final_stats = control.stats()
     report.final_stats["stats"] = final_stats
+    report.worker_restarts = sum(
+        int(entry.get("restarts", 0))
+        for entry in final_stats.get("shards") or []
+        if isinstance(entry, dict)
+    )
     cache_stats = final_stats.get("answer_cache") or {}
     # A kill-fault restart resets the counter; keep the pre-kill reading.
     report.poisoned_detected = max(
@@ -972,6 +1013,14 @@ def _score(
         )
     if config.inject_malformed and report.malformed_probes == 0:
         failures.append("no malformed probes could be delivered")
+    if config.inject_worker_kill:
+        if report.worker_kills == 0:
+            failures.append("worker-kill fault was configured but never delivered")
+        elif report.worker_restarts == 0:
+            failures.append(
+                "a shard worker was SIGKILLed but the router never "
+                "reported a respawn"
+            )
     if (
         config.check_p99
         and report.unloaded_p99 > 0

@@ -153,7 +153,15 @@ class _CounterChild:
 
 
 class Gauge:
-    """A settable or callback-sampled instantaneous value."""
+    """A settable or callback-sampled instantaneous value.
+
+    A *labeled* gauge must be callback-driven: the callback returns a
+    mapping from label-value tuples (or a single string for one label)
+    to numbers, re-sampled at every render — the shape the router uses
+    for per-shard series, whose children appear and disappear with
+    worker respawns (gauges carry no monotonicity contract, so that
+    churn is legal where a labeled counter reset would not be).
+    """
 
     kind = "gauge"
 
@@ -162,10 +170,13 @@ class Gauge:
         name: str,
         help: str,
         callback: Callable[[], float] | None = None,
+        labelnames: Sequence[str] = (),
     ):
+        if labelnames and callback is None:
+            raise ValueError("labeled gauges must be callback-sampled")
         self.name = name
         self.help = help
-        self.labelnames: tuple[str, ...] = ()
+        self.labelnames = tuple(labelnames)
         self._callback = callback
         self._lock = threading.Lock()
         self._value: float = 0
@@ -185,18 +196,33 @@ class Gauge:
     def dec(self, amount: float = 1) -> None:
         self.inc(-amount)
 
-    def value(self) -> float:
+    def _sampled(self) -> dict[tuple[str, ...], float]:
+        mapping: Mapping = self._callback() or {}
+        normalized: dict[tuple[str, ...], float] = {}
+        for key, value in mapping.items():
+            values = key if isinstance(key, tuple) else (key,)
+            normalized[tuple(str(v) for v in values)] = value
+        return normalized
+
+    def value(self, *labelvalues) -> float:
+        if self.labelnames:
+            return self._sampled().get(tuple(str(v) for v in labelvalues), 0)
         if self._callback is not None:
             return self._callback()
         with self._lock:
             return self._value
 
     def render(self) -> list[str]:
-        return [
-            f"# HELP {self.name} {self.help}",
-            f"# TYPE {self.name} {self.kind}",
-            f"{self.name} {_format_value(self.value())}",
-        ]
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        if self.labelnames:
+            for key, value in sorted(self._sampled().items()):
+                lines.append(
+                    f"{self.name}{_render_labels(self.labelnames, key)} "
+                    f"{_format_value(value)}"
+                )
+            return lines
+        lines.append(f"{self.name} {_format_value(self.value())}")
+        return lines
 
 
 class Histogram:
@@ -314,9 +340,13 @@ class MetricsRegistry:
         return self._register(Counter(name, help, labelnames, callback))
 
     def gauge(
-        self, name: str, help: str, callback: Callable[[], float] | None = None
+        self,
+        name: str,
+        help: str,
+        callback: Callable[[], float] | None = None,
+        labelnames: Sequence[str] = (),
     ) -> Gauge:
-        return self._register(Gauge(name, help, callback))
+        return self._register(Gauge(name, help, callback, labelnames))
 
     def histogram(
         self,

@@ -122,6 +122,20 @@ class SessionHandle:
             except (OSError, TypeError, ValueError):
                 pass
 
+    def release_shared(self) -> None:
+        """Detach the pool from shared memory (after :meth:`spill`).
+
+        Copies the drawn prefix into private memory and unlinks the
+        segment, so an evicted handle keeps working (the documented
+        holder contract) while ``/dev/shm`` is reclaimed immediately.
+        No-op for pools that were never shared.
+        """
+        release = getattr(self.pool, "release_shared", None)
+        if release is None:
+            return
+        with self.lock:
+            release()
+
     def stats(self) -> dict:
         """Serving counters for this group, JSON-native."""
         return {
@@ -145,6 +159,12 @@ class SessionRegistry:
     ``batch_estimate``).  ``cache_dir`` attaches a persistent
     :class:`~repro.engine.store.CacheStore` for warm-start/spill;
     ``backend`` / ``use_kernel`` are forwarded to every session.
+
+    ``shared_pools=True`` backs every vector pool with a
+    :class:`~repro.sampling.vectorized.SharedSampleSegment` (sharded
+    workers use this so the cache store and siblings can read sample
+    matrices zero-copy); eviction and :meth:`close` release the segments
+    after spilling.  Scalar pools ignore the flag.
     """
 
     def __init__(
@@ -155,6 +175,7 @@ class SessionRegistry:
         backend: str = "auto",
         use_kernel: bool = True,
         max_sessions: int = DEFAULT_MAX_SESSIONS,
+        shared_pools: bool = False,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be positive")
@@ -166,6 +187,7 @@ class SessionRegistry:
         self.backend = backend
         self.use_kernel = use_kernel
         self.max_sessions = max_sessions
+        self.shared_pools = shared_pools
         self.store = CacheStore(cache_dir) if cache_dir is not None else None
         self._handles: OrderedDict[str, SessionHandle] = OrderedDict()
         self._lock = threading.Lock()
@@ -257,6 +279,7 @@ class SessionRegistry:
                 self.evictions += 1
         for old in evicted:
             old.spill()
+            old.release_shared()
         return handle
 
     def _admit(
@@ -280,7 +303,11 @@ class SessionRegistry:
             backend=self.backend,
         )
         # Raises FPRASUnavailable for out-of-scope groups before admission.
-        pool = session.cached_pool(seed) if cache is not None else session.pool_for_seed(seed)
+        shared = self.shared_pools
+        if cache is not None:
+            pool = session.cached_pool(seed, shared=shared)
+        else:
+            pool = session.pool_for_seed(seed, shared=shared)
         return SessionHandle(key, session, pool, seed)
 
     def estimate(
@@ -344,3 +371,4 @@ class SessionRegistry:
             self._handles.clear()
         for handle in handles:
             handle.spill()
+            handle.release_shared()

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal as signal_module
 import sys
 import threading
 import time
@@ -68,6 +69,7 @@ from .batching import MODES, MicroBatcher, QueueFull
 from .cache import DEFAULT_ANSWER_CACHE_SIZE, AnswerCache
 from .metrics import LATENCY_BUCKETS, WIDTH_BUCKETS, MetricsRegistry
 from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry
+from .sharding import WorkerConfig, WorkerPool, aggregate_shard_stats
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8765
@@ -90,6 +92,7 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -109,6 +112,16 @@ _SINGLE_REQUEST_FIELDS = (
 
 class _BadRequest(Exception):
     """A client error carried to the HTTP layer as a 400 row."""
+
+
+class _ShuttingDown(Exception):
+    """The server is draining for shutdown: queued work fails as 503.
+
+    The graceful-shutdown contract: :meth:`EstimationServer.stop` first
+    *drains* queued batch rounds, and only waiters that outlive the
+    drain timeout are failed with this — never silently dropped (the
+    pre-fix behavior when the loop closed under them).
+    """
 
 
 class _DeadlineExceeded(Exception):
@@ -228,6 +241,18 @@ class EstimationServer:
     ``budget_seconds`` of their own, ``answer_cache_size`` sizes the
     memoized answer cache (0 disables it), and ``fault_injection``
     enables the ``POST /_fault`` test surface.
+
+    ``workers=N`` (``serve --workers N``) switches the server into
+    **sharded router mode**: estimation no longer runs in this process —
+    a :class:`~repro.service.sharding.WorkerPool` of ``N`` warm worker
+    processes (each with its own registry + micro-batcher, built from
+    this server's configuration) executes groups routed by
+    :func:`~repro.service.sharding.shard_for_key` over the registry key.
+    The local registry then only derives keys and seeds (it never admits
+    sessions), the answer cache and admission bounds stay router-side,
+    and ``/stats`` / ``/metrics`` aggregate per-shard breakdowns under a
+    ``shard`` label.  Results are bit-identical at any worker count —
+    placement cannot matter because group seeds are content-derived.
     """
 
     def __init__(
@@ -243,6 +268,7 @@ class EstimationServer:
         default_budget: float | None = None,
         answer_cache_size: int = DEFAULT_ANSWER_CACHE_SIZE,
         fault_injection: bool = False,
+        workers: int | None = None,
     ):
         if default_budget is not None and default_budget <= 0:
             raise ValueError("default_budget must be positive (or None)")
@@ -250,6 +276,11 @@ class EstimationServer:
             raise ValueError("answer_cache_size must be >= 0")
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be positive (or None)")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive (or None for in-process)")
+        self.workers = workers or 0
+        self.worker_pool: WorkerPool | None = None
+        self._shard_snapshot: list[dict | None] = []
         self.registry = registry if registry is not None else SessionRegistry()
         self.metrics = MetricsRegistry()
         self._build_metrics()
@@ -263,6 +294,7 @@ class EstimationServer:
         self.default_budget = default_budget
         self.max_inflight = max_inflight
         self._inflight = 0
+        self._connections: set[asyncio.Task] = set()
         self.answer_cache = (
             AnswerCache(answer_cache_size) if answer_cache_size else None
         )
@@ -374,6 +406,78 @@ class EstimationServer:
                 else time.monotonic() - self._started_at
             ),
         )
+        if self.workers:
+            # Per-shard breakdowns.  The restart counter is router-owned
+            # (monotone across respawns); the per-shard registry/batcher
+            # series are *gauges* because a respawned worker's counters
+            # restart from zero — a labeled counter would violate the
+            # monotonicity invariant the loadtest asserts.
+            self._m_worker_restarts = metrics.counter(
+                "repro_worker_restarts_total",
+                "Worker processes respawned after dying, by shard.",
+                ("shard",),
+            )
+            metrics.gauge(
+                "repro_shard_workers",
+                "Configured worker shard count.",
+                callback=lambda: self.workers,
+            )
+            for name, help_text, section, field in (
+                (
+                    "repro_shard_sessions",
+                    "Warm sessions held per shard registry.",
+                    "registry",
+                    "sessions",
+                ),
+                (
+                    "repro_shard_registry_hits",
+                    "Registry hits per shard (resets on respawn).",
+                    "registry",
+                    "hits",
+                ),
+                (
+                    "repro_shard_registry_misses",
+                    "Registry misses per shard (resets on respawn).",
+                    "registry",
+                    "misses",
+                ),
+                (
+                    "repro_shard_pending_requests",
+                    "Micro-batcher queued requests per shard.",
+                    "batching",
+                    "pending_requests",
+                ),
+                (
+                    "repro_shard_batches_run",
+                    "Coalesced batches executed per shard (resets on respawn).",
+                    "batching",
+                    "batches_run",
+                ),
+            ):
+                metrics.gauge(
+                    name,
+                    help_text,
+                    callback=self._shard_gauge(section, field),
+                    labelnames=("shard",),
+                )
+
+    def _shard_gauge(self, section: str, field: str):
+        """A labeled-gauge callback reading the latest shard snapshot.
+
+        The snapshot refreshes on every ``/stats`` and ``/metrics``
+        request (see :meth:`_refresh_shards`) — gauge callbacks must not
+        await, so rendering reads the cached documents.
+        """
+
+        def read() -> dict[str, float]:
+            series: dict[str, float] = {}
+            for entry in self._shard_snapshot:
+                if not entry or not entry.get(section):
+                    continue
+                series[str(entry.get("shard"))] = entry[section].get(field, 0)
+            return series
+
+        return read
 
     def _observe_batch(self, key: str, seconds: float, width: int) -> None:
         self._m_batch_seconds.labels(key[:12]).observe(seconds)
@@ -381,9 +485,31 @@ class EstimationServer:
 
     # -- lifecycle ---------------------------------------------------------------------
 
+    def _worker_config(self) -> WorkerConfig:
+        """The picklable recipe each shard builds its own plane from."""
+        registry = self.registry
+        return WorkerConfig(
+            seed=registry.seed,
+            cache_dir=None if registry.store is None else registry.store.directory,
+            backend=registry.backend,
+            use_kernel=registry.use_kernel,
+            max_sessions=registry.max_sessions,
+            max_queue=self.batcher.max_queue,
+            max_pending=self.batcher.max_pending,
+        )
+
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns ``(host, port)`` actually bound
         (``port=0`` picks an ephemeral port)."""
+        if self.workers and self.worker_pool is None:
+            self.worker_pool = WorkerPool(
+                self._worker_config(),
+                self.workers,
+                on_restart=lambda shard: self._m_worker_restarts.labels(
+                    str(shard)
+                ).inc(),
+            )
+            await self.worker_pool.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -396,12 +522,35 @@ class EstimationServer:
         """Serve until cancelled (:meth:`start` must have run)."""
         await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        """Stop accepting, then spill every warm session to the cache."""
+    async def stop(self, drain_timeout: float = 10.0) -> None:
+        """Stop accepting, drain queued work, then spill warm sessions.
+
+        The graceful-shutdown order: close the listener (no new
+        requests), give queued micro-batcher rounds ``drain_timeout``
+        seconds to complete, fail whatever remains with a clean 503
+        (never a silent drop), stop the worker pool (which SIGTERM-drains
+        each shard), and finally spill the registry to the cache store.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        try:
+            await asyncio.wait_for(self.batcher.drain(), drain_timeout)
+        except asyncio.TimeoutError:
+            pass
+        self.batcher.fail_pending(
+            _ShuttingDown("server shutting down; request was not executed")
+        )
+        # Connection handlers may still be mid-request (e.g. a handler
+        # that had not reached the batcher when it drained); let them
+        # finish writing their responses before the engine goes away.
+        pending = {task for task in self._connections if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=drain_timeout)
+        if self.worker_pool is not None:
+            await self.worker_pool.stop()
+            self.worker_pool = None
         # Spilling walks session locks — keep it off the event loop.
         await asyncio.get_running_loop().run_in_executor(None, self.registry.close)
 
@@ -415,6 +564,16 @@ class EstimationServer:
     # -- HTTP plumbing -----------------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _serve_connection(self, reader, writer) -> None:
         try:
             response = await asyncio.wait_for(
                 self._handle_request(reader), READ_TIMEOUT_SECONDS
@@ -537,12 +696,17 @@ class EstimationServer:
         try:
             if expected == "GET":
                 result = endpoint()
+                if asyncio.iscoroutine(result):
+                    # Sharded monitoring endpoints poll the workers.
+                    result = await result
             elif path in ("/estimate", "/answers"):
                 result = await self._admit_request(endpoint, body)
             else:
                 result = await endpoint(_parse_body(body))
         except _BadRequest as error:
             return _json_response(400, {"error": str(error)})
+        except _ShuttingDown as error:
+            return _json_response(503, {"error": str(error)})
         except QueueFull as error:
             self._m_rejected.labels("queue_full").inc()
             return _json_response(
@@ -587,30 +751,77 @@ class EstimationServer:
     # -- monitoring endpoints ----------------------------------------------------------
 
     def _healthz(self) -> dict:
-        return {
+        document = {
             "status": "ok",
             "sessions": len(self.registry.handles()),
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
         }
+        if self.workers:
+            document["workers"] = self._workers_document()
+        return document
 
-    def _stats(self) -> dict:
+    def _workers_document(self) -> dict:
+        """Pool size + per-shard liveness (no IPC: ``Process.is_alive``)."""
+        document = {"count": self.workers}
+        if self.worker_pool is not None:
+            document["alive"] = [
+                self.worker_pool.alive(shard) for shard in range(self.workers)
+            ]
+        return document
+
+    async def _refresh_shards(self) -> list[dict | None]:
+        """Poll the worker pool and cache the per-shard stat documents
+        (the cached snapshot also feeds the labeled shard gauges)."""
+        self._shard_snapshot = await self.worker_pool.stats()
+        return self._shard_snapshot
+
+    def _stats(self):
+        if self.worker_pool is not None:
+            return self._stats_sharded()
+        return self._stats_document(None)
+
+    async def _stats_sharded(self) -> dict:
+        return self._stats_document(await self._refresh_shards())
+
+    def _stats_document(self, per_shard: list[dict | None] | None) -> dict:
+        registry_stats = self.registry.stats()
+        batching_stats = self.batcher.stats()
+        if per_shard is not None:
+            # Router mode: the local registry/batcher never execute, so
+            # the meaningful totals are the shard aggregates (the sum
+            # contract is pinned by tests over aggregate_shard_stats).
+            aggregated = aggregate_shard_stats(per_shard)
+            registry_stats = {**registry_stats, **aggregated["registry"]}
+            batching_stats = {**batching_stats, **aggregated["batching"]}
         document = {
             "requests_served": self.requests_served,
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
             "default_budget": self.default_budget,
             "max_inflight": self.max_inflight,
             "inflight": self._inflight,
-            "registry": self.registry.stats(),
-            "batching": self.batcher.stats(),
+            "registry": registry_stats,
+            "batching": batching_stats,
             "answer_cache": (
                 self.answer_cache.stats() if self.answer_cache else None
             ),
         }
+        if per_shard is not None:
+            document["workers"] = self._workers_document()
+            document["shards"] = [entry or {} for entry in per_shard]
         if self.fault_injection:
             document["faults"] = dict(self._faults)
         return document
 
-    def _metrics_endpoint(self) -> _Response:
+    def _metrics_endpoint(self):
+        if self.worker_pool is not None:
+            return self._metrics_sharded()
+        return self._metrics_response()
+
+    async def _metrics_sharded(self) -> _Response:
+        await self._refresh_shards()
+        return self._metrics_response()
+
+    def _metrics_response(self) -> _Response:
         return _Response(
             200,
             self.metrics.render().encode("utf-8"),
@@ -637,6 +848,20 @@ class EstimationServer:
             if count is not None and (not isinstance(count, int) or count < 0):
                 raise _BadRequest("'poison_count' must be a non-negative integer")
             report["poisoned_entries"] = self.answer_cache.poison(count)
+        if "kill_worker" in document:
+            shard = document["kill_worker"]
+            if self.worker_pool is None:
+                raise _BadRequest("'kill_worker' requires sharded mode (--workers)")
+            if (
+                not isinstance(shard, int)
+                or isinstance(shard, bool)
+                or not 0 <= shard < self.workers
+            ):
+                raise _BadRequest(
+                    f"'kill_worker' must be a shard index in [0, {self.workers})"
+                )
+            report["killed_worker"] = shard
+            report["killed_pid"] = self.worker_pool.kill(shard)
         report["faults"] = dict(self._faults)
         return report
 
@@ -758,20 +983,43 @@ class EstimationServer:
     async def _run(
         self, requests: list[BatchRequest], mode: str
     ) -> list[BatchResult]:
-        """Fan one parsed request list out per group and reassemble."""
+        """Fan one parsed request list out per group and reassemble.
+
+        In-process mode submits each group to the local micro-batcher;
+        sharded mode routes each group to its worker (one ``estimate``
+        frame per group — coalescing then happens inside the shard's own
+        batcher).  Either way results come back in request order.
+        """
         groups: dict[tuple, list[tuple[int, BatchRequest]]] = {}
         for position, request in enumerate(requests):
             groups.setdefault(request.group_key(), []).append((position, request))
-        submissions = [
-            self.batcher.submit(
-                members[0][1].database,
-                members[0][1].constraints,
-                members[0][1].generator,
-                [request for _, request in members],
-                mode,
-            )
-            for members in groups.values()
-        ]
+        if self.worker_pool is not None:
+            submissions = [
+                self.worker_pool.submit(
+                    self.registry.key_for(
+                        members[0][1].database,
+                        members[0][1].constraints,
+                        members[0][1].generator,
+                    ),
+                    members[0][1].database,
+                    members[0][1].constraints,
+                    members[0][1].generator,
+                    [request for _, request in members],
+                    mode,
+                )
+                for members in groups.values()
+            ]
+        else:
+            submissions = [
+                self.batcher.submit(
+                    members[0][1].database,
+                    members[0][1].constraints,
+                    members[0][1].generator,
+                    [request for _, request in members],
+                    mode,
+                )
+                for members in groups.values()
+            ]
         chunks = await asyncio.gather(*submissions)
         results: list[BatchResult | None] = [None] * len(requests)
         for members, chunk in zip(groups.values(), chunks):
@@ -795,13 +1043,18 @@ def serve(
     default_budget: float | None = None,
     answer_cache_size: int | None = None,
     fault_injection: bool = False,
+    workers: int | None = None,
 ) -> int:
     """Run the estimation service until interrupted (the CLI entry point).
 
     Builds a :class:`SessionRegistry` from the arguments, binds, prints
-    the served URL to stderr, and blocks.  Returns ``0`` on a clean
-    ``KeyboardInterrupt`` shutdown (warm sessions are spilled to the
-    cache store first).
+    the served URL to stderr, and blocks.  ``workers=N`` runs the
+    sharded multi-process plane (one warm registry per shard; see
+    :class:`EstimationServer`).  SIGTERM and SIGINT both shut down
+    gracefully: queued batch waiters are drained (or failed with a clean
+    503 past the drain timeout) and warm sessions are spilled to the
+    cache store before the loop closes — in both single-process and
+    sharded modes.  Returns ``0`` on clean shutdown.
     """
     # A mixed IO/CPU process: under a request flood the event-loop
     # thread would otherwise keep the GIL for the default 5 ms switch
@@ -833,20 +1086,37 @@ def serve(
                 else answer_cache_size
             ),
             fault_injection=fault_injection,
+            workers=workers,
         )
         bound_host, bound_port = await server.start()
         print(
             f"repro estimation service on http://{bound_host}:{bound_port} "
             f"(seed={seed}, backend={backend}, "
-            f"cache_dir={cache_dir}, max_sessions={registry.max_sessions})",
+            f"cache_dir={cache_dir}, max_sessions={registry.max_sessions}, "
+            f"workers={server.workers or 1})",
             file=sys.stderr,
             flush=True,
         )
+        # Graceful shutdown: both signals set the stop event, letting
+        # stop() drain queued waiters instead of the loop tearing down
+        # underneath them (the pre-fix silent-drop bug).
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled: list[int] = []
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-posix loops fall back to KeyboardInterrupt
         try:
-            await server.serve_forever()
+            await stop_event.wait()
+            print("shutting down", file=sys.stderr, flush=True)
         except asyncio.CancelledError:
             pass
         finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
             await server.stop()
 
     try:
@@ -866,7 +1136,8 @@ class BackgroundServer:
     thread; exiting stops the loop and spills warm sessions.
     ``server_options`` forwards hardening knobs (``max_queue``,
     ``max_pending``, ``default_budget``, ``answer_cache_size``,
-    ``fault_injection``) to the :class:`EstimationServer`.
+    ``fault_injection``, ``workers`` — sharded mode works embedded too)
+    to the :class:`EstimationServer`.
     """
 
     def __init__(

@@ -461,8 +461,19 @@ class TestCliServeParser:
                 "--cache-dir", "/tmp/cache",
                 "--backend", "scalar",
                 "--max-sessions", "4",
+                "--workers", "2",
             ]
         )
         assert args.command == "serve"
         assert (args.host, args.port, args.seed) == ("0.0.0.0", 9000, 7)
         assert args.backend == "scalar" and args.max_sessions == 4
+        assert args.workers == 2
+
+    def test_loadtest_arguments_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["loadtest", "--workers", "2", "--kill-worker", "--backoff", "0.01"]
+        )
+        assert args.command == "loadtest"
+        assert args.workers == 2 and args.kill_worker and args.backoff == 0.01

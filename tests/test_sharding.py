@@ -1,0 +1,390 @@
+"""The sharded multi-process service plane (PR 8).
+
+The promises under test, in rough dependency order:
+
+* :func:`~repro.service.sharding.shard_for_key` is a *rendezvous* hash:
+  deterministic, uniform enough, and stable — growing the pool from
+  ``n`` to ``n + 1`` shards only ever remaps keys onto the new shard.
+* :func:`~repro.service.sharding.aggregate_shard_stats` sums per-shard
+  registry/batching sections exactly (what ``/stats`` and ``/metrics``
+  serve in sharded mode).
+* Shared-memory sample pools survive the full lifecycle: segments are
+  attachable while live, unlinked on eviction, and an evicted-but-held
+  handle still serves bit-identical rows from its private copy.
+* The micro-batcher drains on shutdown: queued work is either served
+  normally or failed with the shutdown error — never silently dropped —
+  and a SIGTERM'd ``serve`` subprocess exits cleanly (code 0).
+* Served rows are **bit-identical** to offline ``batch_estimate`` at
+  any worker count, and across a SIGKILL + respawn of a shard worker.
+"""
+
+import asyncio
+import json
+import signal
+import threading
+import time
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chains.generators import M_UR, M_US
+from repro.engine import batch_estimate
+from repro.sampling.rng import HAVE_NUMPY
+from repro.service import (
+    BackgroundServer,
+    MicroBatcher,
+    ServiceClient,
+    ServiceClientError,
+    SessionRegistry,
+    aggregate_shard_stats,
+    shard_for_key,
+)
+from repro.service.loadtest import ServerProcess
+from repro.workloads import figure2_database
+
+from test_service import EPSILON, DELTA, QUERY_TEXT, fig2_requests
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+
+# -- placement -----------------------------------------------------------------------------
+
+
+class TestShardForKey:
+    def test_single_shard_is_always_zero(self):
+        assert shard_for_key("anything", 1) == 0
+        assert shard_for_key("", 1) == 0
+
+    def test_rejects_non_positive_shard_counts(self):
+        with pytest.raises(ValueError):
+            shard_for_key("k", 0)
+        with pytest.raises(ValueError):
+            shard_for_key("k", -2)
+
+    @given(key=st.text(max_size=64), shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic_and_in_range(self, key, shards):
+        placed = shard_for_key(key, shards)
+        assert 0 <= placed < shards
+        assert shard_for_key(key, shards) == placed
+
+    @given(key=st.text(max_size=64), shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_rendezvous_stability_under_growth(self, key, shards):
+        """Adding shard ``n`` only ever moves keys *onto* shard ``n`` —
+        every other key keeps its placement (the property that makes
+        restarts with a different ``--workers`` cheap to re-warm)."""
+        before = shard_for_key(key, shards)
+        after = shard_for_key(key, shards + 1)
+        assert after in (before, shards)
+
+    def test_spreads_keys_across_shards(self):
+        placements = {shard_for_key(f"group-{i}", 4) for i in range(200)}
+        assert placements == {0, 1, 2, 3}
+
+
+# -- stats aggregation ---------------------------------------------------------------------
+
+
+def shard_stats(shard, *, sessions, hits, misses, evictions, batches, widest, pending=0):
+    return {
+        "shard": shard,
+        "registry": {
+            "sessions": sessions,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+        },
+        "batching": {
+            "batches_run": batches,
+            "coalesced_batches": 0,
+            "pending_requests": pending,
+            "rejected": 0,
+            "cancelled_waiters": 0,
+            "widest_batch": widest,
+        },
+    }
+
+
+class TestAggregateShardStats:
+    def test_sums_every_counter_and_maxes_widest_batch(self):
+        per_shard = [
+            shard_stats(0, sessions=2, hits=5, misses=2, evictions=1, batches=7, widest=3),
+            shard_stats(1, sessions=1, hits=9, misses=1, evictions=0, batches=4, widest=6),
+        ]
+        merged = aggregate_shard_stats(per_shard)
+        assert merged["shards"] == 2
+        assert merged["unreported"] == 0
+        assert merged["registry"] == {
+            "sessions": 3, "hits": 14, "misses": 3, "evictions": 1,
+        }
+        assert merged["batching"]["batches_run"] == 11
+        assert merged["batching"]["widest_batch"] == 6  # max, not sum
+
+    def test_dead_shards_count_as_unreported(self):
+        per_shard = [
+            shard_stats(0, sessions=1, hits=1, misses=1, evictions=0, batches=1, widest=1),
+            {},  # a shard that died mid-scrape
+            {"shard": 2, "registry": None, "batching": None},
+        ]
+        merged = aggregate_shard_stats(per_shard)
+        assert merged["shards"] == 1
+        assert merged["unreported"] == 2
+        assert merged["registry"]["sessions"] == 1
+
+
+# -- shared-memory sample pools ------------------------------------------------------------
+
+
+@needs_numpy
+class TestSharedSegments:
+    def test_segment_roundtrip_attach_and_unlink(self):
+        from multiprocessing import shared_memory
+
+        from repro.sampling.vectorized import SharedSampleSegment
+
+        segment = SharedSampleSegment.create(4, 2)
+        rows = segment.rows()
+        rows[:] = 7
+        attached = SharedSampleSegment.attach(segment.name, 4, 2)
+        assert attached.rows().tolist() == rows.tolist()
+        name = segment.name
+        attached.release()
+        segment.release()  # owner: refcount hits zero -> unlink
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_eviction_unlinks_segment_but_handle_stays_usable(self):
+        from multiprocessing import shared_memory
+
+        registry = SessionRegistry(seed=7, max_sessions=1, shared_pools=True)
+        ur = fig2_requests(generators=(M_UR,))
+        us = fig2_requests(generators=(M_US,))
+        offline = batch_estimate(ur, seed=7)
+
+        first = [r.result for r in registry.estimate(ur)]
+        assert first == [r.result for r in offline]
+        (handle,) = registry.handles()
+        segment = handle.pool.shared_segment
+        assert segment is not None
+        name = segment.name
+
+        # Admitting the second generator's group evicts the first
+        # (max_sessions=1); eviction must release the shared segment...
+        registry.estimate(us)
+        assert registry.evictions == 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        assert handle.pool.shared_segment is None
+
+        # ...while the evicted handle (still held here, as a concurrent
+        # batch might) keeps serving identical rows from a private copy.
+        again = handle.run(ur, "fixed")
+        assert [r.result for r in again] == [r.result for r in offline]
+
+    def test_registry_close_releases_segments(self):
+        from multiprocessing import shared_memory
+
+        registry = SessionRegistry(seed=7, shared_pools=True)
+        registry.estimate(fig2_requests(generators=(M_UR,)))
+        names = [
+            handle.pool.shared_segment.name for handle in registry.handles()
+        ]
+        assert names
+        registry.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+# -- graceful shutdown ---------------------------------------------------------------------
+
+
+class TestShutdownDrain:
+    def test_fail_pending_rejects_queued_waiters(self):
+        """Waiters still queued (batch not yet started) get the shutdown
+        error; nothing hangs and nothing is silently dropped."""
+        requests = fig2_requests(generators=(M_UR,))
+        database, constraints = figure2_database()
+
+        async def scenario():
+            batcher = MicroBatcher(SessionRegistry(seed=7))
+            submitted = asyncio.ensure_future(
+                batcher.submit(database, constraints, M_UR, requests, "fixed")
+            )
+            # One tick: submit() has enqueued its waiter and scheduled
+            # the drain task, but the drain task has not run yet.
+            await asyncio.sleep(0)
+            failed = batcher.fail_pending(RuntimeError("shutting down"))
+            assert failed == 1
+            with pytest.raises(RuntimeError, match="shutting down"):
+                await submitted
+            await batcher.drain()  # nothing left; returns immediately
+            assert batcher.stats()["pending_requests"] == 0
+
+        asyncio.run(scenario())
+
+    def test_drain_waits_for_inflight_batches(self):
+        requests = fig2_requests(generators=(M_UR,))
+        database, constraints = figure2_database()
+        offline = batch_estimate(requests, seed=7)
+
+        async def scenario():
+            batcher = MicroBatcher(SessionRegistry(seed=7))
+            submitted = asyncio.ensure_future(
+                batcher.submit(database, constraints, M_UR, requests, "fixed")
+            )
+            await asyncio.sleep(0)
+            await batcher.drain()
+            assert submitted.done()  # drain returned only after the batch ran
+            assert batcher.fail_pending(RuntimeError("late")) == 0
+            return await submitted
+
+        outcomes = asyncio.run(scenario())
+        assert [o.result for o in outcomes] == [r.result for r in offline]
+
+    def test_stop_mid_request_serves_or_503s(self):
+        """A request in flight when the server stops is either served
+        bit-identically (drained) or failed with a clean 503 — never a
+        hang, never a dropped connection."""
+        database, constraints = figure2_database()
+        requests = fig2_requests(generators=(M_UR,))
+        offline = batch_estimate(requests, seed=7)
+        expected = offline[0].result
+        outcome = {}
+
+        background = BackgroundServer(seed=7, server_options={"fault_injection": True})
+        with background as server:
+            client = ServiceClient(server.url, timeout=30.0, max_retries=0)
+            client._call("POST", "/_fault", {"slow_seconds": 0.5})
+
+            def call():
+                try:
+                    outcome["row"] = client.estimate(
+                        database, constraints, QUERY_TEXT,
+                        list(requests[0].answer),
+                        epsilon=EPSILON, delta=DELTA, label="fig2",
+                    )
+                except ServiceClientError as error:
+                    outcome["error"] = error
+
+            caller = threading.Thread(target=call)
+            caller.start()
+            time.sleep(0.2)  # the slow handler is now holding the request
+        caller.join(timeout=30)
+        assert not caller.is_alive()
+        if "row" in outcome:
+            assert outcome["row"]["estimate"] == expected.estimate
+            assert outcome["row"]["samples"] == expected.samples_used
+        else:
+            assert outcome["error"].status == 503
+
+    def test_sigterm_exits_cleanly_sharded(self):
+        """``serve --workers 2`` drains and exits 0 on SIGTERM (the
+        pre-PR behavior was an abrupt KeyboardInterrupt traceback)."""
+        process = ServerProcess(seed=7, workers=2, fault_injection=False)
+        process.start()
+        try:
+            assert ServiceClient(process.url).healthz()["status"] == "ok"
+            process._process.send_signal(signal.SIGTERM)
+            process._process.wait(timeout=60)
+            assert process._process.returncode == 0
+        finally:
+            process.stop()
+
+
+# -- the sharded HTTP plane ----------------------------------------------------------------
+
+
+def serve_rows(client, database, constraints, requests):
+    return [
+        client.estimate(
+            database, constraints, QUERY_TEXT, list(request.answer),
+            generator=request.generator.name,
+            epsilon=EPSILON, delta=DELTA, label="fig2",
+        )
+        for request in requests
+    ]
+
+
+class TestShardedHttp:
+    def test_bit_identity_at_every_worker_count_and_across_kill(self):
+        database, constraints = figure2_database()
+        requests = fig2_requests()
+        offline = batch_estimate(requests, seed=7)
+        expected = [
+            {"estimate": r.result.estimate, "samples": r.result.samples_used}
+            for r in offline
+        ]
+
+        def served(client):
+            return [
+                {"estimate": row["estimate"], "samples": row["samples"]}
+                for row in serve_rows(client, database, constraints, requests)
+            ]
+
+        for workers in (1, 2, 4):
+            options = {"workers": workers, "fault_injection": True}
+            with BackgroundServer(seed=7, server_options=options) as server:
+                client = ServiceClient(server.url)
+                assert served(client) == expected, f"workers={workers} drifted"
+
+                if workers == 2:
+                    # SIGKILL shard 0 mid-run: the router respawns and
+                    # re-warms it; re-served rows must not move a bit.
+                    report = client._call("POST", "/_fault", {"kill_worker": 0})
+                    assert report["killed_worker"] == 0
+                    assert report["killed_pid"]
+                    deadline = time.monotonic() + 30
+                    while time.monotonic() < deadline:
+                        stats = client.stats()
+                        if all(stats.get("workers", {}).get("alive", [])):
+                            break
+                        time.sleep(0.1)
+                    assert served(client) == expected, "post-kill drift"
+                    restarts = sum(
+                        entry.get("restarts", 0) for entry in client.stats()["shards"]
+                    )
+                    assert restarts >= 1
+
+                if workers == 4:
+                    self.check_aggregation(client)
+
+    def check_aggregation(self, client):
+        """Top-level /stats and /metrics totals equal the sum over shards."""
+        stats = client.stats()
+        assert stats["workers"]["count"] == 4
+        shards = stats["shards"]
+        assert len(shards) == 4
+        for field in ("sessions", "hits", "misses", "evictions"):
+            total = stats["registry"][field]
+            assert total == sum(
+                (entry.get("registry") or {}).get(field, 0) for entry in shards
+            ), field
+        assert stats["batching"]["batches_run"] == sum(
+            (entry.get("batching") or {}).get("batches_run", 0) for entry in shards
+        )
+        # Two generators over one instance -> two groups, spread by the
+        # rendezvous hash but never duplicated.
+        assert stats["registry"]["sessions"] == 2
+
+        series = client.metrics()
+        for field, metric in (
+            ("sessions", "repro_shard_sessions"),
+            ("hits", "repro_shard_registry_hits"),
+            ("misses", "repro_shard_registry_misses"),
+        ):
+            labeled = sum(
+                value for key, value in series.items()
+                if key.startswith(metric + "{")
+            )
+            assert labeled == stats["registry"][field], metric
+
+    def test_healthz_reports_worker_liveness(self):
+        options = {"workers": 2}
+        with BackgroundServer(seed=7, server_options=options) as server:
+            health = ServiceClient(server.url).healthz()
+            assert health["workers"]["count"] == 2
+            assert health["workers"]["alive"] == [True, True]
