@@ -12,6 +12,7 @@ Commands operate on JSON instance files (see :mod:`repro.io`):
 * ``loadtest [options]``                 — fault-injecting saturation test of ``serve``
 * ``example NAME``                       — dump a built-in instance as JSON
 * ``audit [options]``                    — mass-replication (ε, δ) calibration audit
+* ``fsck CACHE_DIR [--repair]``          — verify a cache store's digests offline
 
 Example::
 
@@ -548,6 +549,19 @@ def _arguments_loadtest(subparser: argparse.ArgumentParser) -> None:
         "rows still bit-identical)",
     )
     subparser.add_argument(
+        "--disk-fault", action="store_true",
+        help="also break the spawned server's cache store mid-storm "
+        "(ENOSPC on writes, a flipped bit on reads, via POST /_fault); "
+        "the server must degrade to compute-without-cache with zero 5xx "
+        "and recover when the fault clears (needs --workers 0, no --url)",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="CacheStore directory for the spawned server (default: none, "
+        "or a private temporary directory when --disk-fault needs one)",
+    )
+    subparser.add_argument(
         "--backoff",
         type=float,
         default=0.05,
@@ -598,6 +612,8 @@ def command_loadtest(args: argparse.Namespace) -> int:
         inject_malformed=args.malformed,
         inject_kill=args.kill and args.url is None,
         inject_worker_kill=args.kill_worker and args.url is None,
+        inject_disk_fault=args.disk_fault and args.url is None,
+        cache_dir=args.cache_dir,
         check_p99=args.p99_check,
         reject_backoff_seconds=args.backoff,
     )
@@ -729,6 +745,43 @@ def command_audit(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+# -- fsck ----------------------------------------------------------------------------------
+
+
+def _arguments_fsck(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "cache_dir",
+        help="the CacheStore directory to scan (every *.json entry is "
+        "checked: version, structure, row shapes, content digest)",
+    )
+    subparser.add_argument(
+        "--repair", action="store_true",
+        help="quarantine damaged entries (rename to *.quarantined, "
+        "skipped by future loads — the next warm run recomputes them) "
+        "and delete orphaned temp files",
+    )
+    subparser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable fsck report here",
+    )
+
+
+def command_fsck(args: argparse.Namespace) -> int:
+    from .engine.store import fsck_store
+
+    report = fsck_store(args.cache_dir, repair=args.repair)
+    print(report.render())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(report.to_dict(), stream, indent=2)
+        print(f"fsck report written to {args.json}", file=sys.stderr)
+    # Damage found exits nonzero even under --repair: the quarantine
+    # fixed the store, but the operator should still know it was needed.
+    return 0 if report.ok else 1
+
+
 # -- the registry --------------------------------------------------------------------------
 
 #: The single source of truth for subcommands: parser assembly
@@ -764,6 +817,11 @@ COMMANDS: dict[str, Command] = {
         command_audit,
         "mass-replication calibration audit of the (ε, δ) contracts",
         _arguments_audit,
+    ),
+    "fsck": Command(
+        command_fsck,
+        "verify a cache store's digests, versions and row shapes offline",
+        _arguments_fsck,
     ),
 }
 

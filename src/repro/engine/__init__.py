@@ -6,23 +6,39 @@ amortizes block decompositions, witness images and — via
 ``(query, answer)`` requests; :func:`batch_estimate` plans a mixed workload
 over these sessions, optionally in adaptive early-stopping mode
 (``mode="adaptive"``) and/or against a persistent cross-run
-:class:`CacheStore` (``cache_dir=...``).  See ``docs/ARCHITECTURE.md`` for
+:class:`CacheStore` (``cache_dir=...``).  The store is crash-consistent
+(fsynced commits, per-entry content digests) and auditable offline with
+:func:`fsck_store` (``python -m repro fsck``); absorbed store failures are
+accounted in a :class:`StoreErrorLog`.  See ``docs/ARCHITECTURE.md`` for
 how this layer sits on top of the paper's samplers and bounds.
 """
 
 from .batch import BatchRequest, BatchResult, batch_estimate
 from .session import DEFAULT_BATCH_SIZE, EstimationSession, SamplePool
-from .store import STORE_VERSION, CacheEntry, CacheStore, instance_cache_key
+from .store import (
+    STORE_VERSION,
+    CacheEntry,
+    CacheSerializationError,
+    CacheStore,
+    FsckReport,
+    StoreErrorLog,
+    fsck_store,
+    instance_cache_key,
+)
 
 __all__ = [
     "BatchRequest",
     "BatchResult",
     "CacheEntry",
+    "CacheSerializationError",
     "CacheStore",
     "DEFAULT_BATCH_SIZE",
     "EstimationSession",
+    "FsckReport",
     "STORE_VERSION",
     "SamplePool",
+    "StoreErrorLog",
     "batch_estimate",
+    "fsck_store",
     "instance_cache_key",
 ]

@@ -53,7 +53,12 @@ from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..core.queries import ConjunctiveQuery
 from .session import EstimationSession
-from .store import CacheStore, instance_cache_key
+from .store import (
+    STORE_ERRORS,
+    CacheSerializationError,
+    CacheStore,
+    instance_cache_key,
+)
 
 #: Environment override for the multiprocessing start method used by
 #: ``batch_estimate(workers=...)`` (same values as the ``start_method``
@@ -274,11 +279,13 @@ def _estimate_group(
     if cache is not None:
         try:
             cache.save()
-        except (OSError, TypeError, ValueError):
+        except (OSError, CacheSerializationError) as error:
             # The cache is an accelerator, never an authority: an
             # unwritable cache_dir — or an instance whose constants are
             # not JSON-serializable — must not discard computed results.
-            pass
+            # Absorbed, but *accounted* (and narrowly: a plain TypeError
+            # or ValueError is a store bug and propagates).
+            STORE_ERRORS.record("save", error)
     return outcomes
 
 

@@ -34,18 +34,39 @@ cover everything any persisted field could depend on.)  Each entry holds:
   its substream contract — and ``rng_state`` is ``null``).  Replayed
   estimates are identical to cold-run estimates on the same plane.
 
-Entries written at version 2 (id-array rows + RNG state) are
-**transparently upgraded** on load: the id rows decode to the same masks,
-re-encode as packed words with ``backend: "scalar"``, and the next save
-rewrites the entry at version 3 — a v2 cache keeps its warm stream.
-Version 1 entries (and any other mismatch) are recomputed.
+Version 4 adds the durability envelope: ``digest`` is the SHA-256 hex
+digest of the entry's canonical serialization (sorted keys, compact
+separators, the ``digest`` field itself excluded) — covering the packed
+word rows, not just the key — and ``words`` records the packed row
+width so :func:`fsck_store` can validate shapes without the database.
+The digest is verified on every load, so a torn write, a truncation, or
+a single flipped bit anywhere in the file is *detected* and the entry
+degrades to recomputation instead of replaying damaged samples.
+
+Entries written at older versions are **transparently upgraded** on
+load: v3 entries (packed words, no digest) load warm as-is and the next
+save rewrites them at v4 with a digest; v2 entries (id-array rows + RNG
+state) decode to the same masks and re-encode as packed words with
+``backend: "scalar"``.  A v2/v3 cache keeps its warm stream.  Version 1
+entries (and any other mismatch) are recomputed.
 
 Failure policy: the cache is an accelerator, never an authority.  Any
-read problem — missing file, truncated/corrupt JSON, version mismatch,
-decoded facts that disagree with the live database — silently degrades to
-recomputation (``tests/test_store.py`` exercises each path).  Writes go
-through a temp file + ``os.replace`` so readers never observe a partially
-written entry.
+read problem — missing file, truncated/corrupt JSON, digest mismatch,
+version mismatch, decoded facts that disagree with the live database —
+silently degrades to recomputation (``tests/test_store.py`` exercises
+each path), with the failure kind reported on
+:attr:`CacheEntry.load_error` so callers can account it (the service
+plane feeds these into ``repro_store_errors_total``).  Writes are
+crash-consistent: the document is written to a temp file, fsynced,
+renamed over the entry with ``os.replace``, and the directory is
+fsynced — so after a crash at *any* point a reader sees exactly the old
+entry or exactly the new one, never a mix (the crash-torture harness in
+``tests/test_crash_torture.py`` SIGKILLs writers at every operation in
+that sequence and asserts it).  All commit-path filesystem calls route
+through :mod:`repro.engine.fsfault`, the injectable fault shim the
+harness drives.  Failed writers may leave ``*.tmp`` files behind;
+:class:`CacheStore` sweeps temp files older than a grace period when it
+opens a directory.
 
 Concurrent writers: two processes sharing a ``cache_dir`` for the same
 key both load, compute, and save — a blind write would silently drop
@@ -64,11 +85,14 @@ almost all of the window).
 from __future__ import annotations
 
 import contextlib
+import errno
 import hashlib
 import json
 import os
 import tempfile
-from typing import TYPE_CHECKING, Any
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
 
 try:  # pragma: no cover - platform probe (Linux/macOS have it, Windows not)
     import fcntl
@@ -81,6 +105,7 @@ from ..core.dependencies import FDSet
 from ..core.facts import Fact
 from ..core.interning import mask_ids
 from ..core.queries import ConjunctiveQuery
+from . import fsfault as _fsfault
 
 # The packed-word geometry is owned by the vector plane: the v3 format's
 # core invariant is "the on-disk word row IS the plane's uint64 matrix
@@ -100,7 +125,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session imports stor
 #: v3: sample rows are packed uint64 word lists (the vector plane's
 #: bitset-matrix rows) plus ``backend``/``batch`` metadata; v2 entries
 #: upgrade in place on load instead of being recomputed.
-STORE_VERSION = 3
+#: v4: the durability envelope — ``digest`` (SHA-256 over the canonical
+#: serialization, verified on every load) and ``words`` (packed row
+#: width, for database-free fsck); v2/v3 entries upgrade in place.
+STORE_VERSION = 4
+
+#: Orphaned ``*.tmp`` files older than this are swept when a
+#: :class:`CacheStore` opens a directory (long enough that a live
+#: writer's temp file — written, fsynced and renamed within one save —
+#: is never collected out from under it).
+TMP_SWEEP_GRACE_SECONDS = 300.0
 
 
 def _freeze(value: Any) -> Any:
@@ -133,6 +167,120 @@ class CacheFormatError(ValueError):
     """Raised internally for undecodable entry payloads (never escapes reads)."""
 
 
+class CacheSerializationError(ValueError):
+    """Raised by :meth:`CacheEntry.save` when the document cannot be
+    serialized to JSON (e.g. an instance whose constants are not
+    JSON-native).
+
+    A distinct type so callers can treat "this instance is not
+    cacheable" as the benign, accountable condition it is — catching
+    ``(OSError, CacheSerializationError)`` — while genuine
+    ``TypeError``/``ValueError`` bugs in the store keep propagating.
+    """
+
+
+def classify_store_error(error: BaseException) -> str:
+    """A bounded-cardinality kind label for one store failure.
+
+    The label set (``enospc`` / ``readonly`` / ``eio`` / ``os`` /
+    ``serialize`` / ``unknown``, plus the read-side ``corrupt``) is what
+    the service exports as the ``kind`` label of
+    ``repro_store_errors_total`` — coarse on purpose, so callers cannot
+    mint metric series.
+    """
+    if isinstance(error, CacheSerializationError):
+        return "serialize"
+    if isinstance(error, OSError):
+        if error.errno == errno.ENOSPC:
+            return "enospc"
+        if error.errno in (errno.EROFS, errno.EACCES, errno.EPERM):
+            return "readonly"
+        if error.errno == errno.EIO:
+            return "eio"
+        return "os"
+    return "unknown"
+
+
+class StoreErrorLog:
+    """Thread-safe ``(op, kind)`` store-failure counters + a degraded flag.
+
+    The accounting spine of degraded mode: every absorbed store failure
+    is recorded here instead of being silently squelched.  ``degraded``
+    is level-triggered — set by :meth:`record`, cleared by
+    :meth:`mark_ok` on the next successful store interaction — which is
+    what the service's ``repro_degraded_mode`` gauge exports.  An
+    optional ``listener`` callable ``(op, kind)`` fires outside the lock
+    on every record (the server bridges it to a labeled counter).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[str, str], int] = {}
+        self.last_error: str | None = None
+        self.degraded = False
+        self.listener: Callable[[str, str], None] | None = None
+
+    def record(self, op: str, error: BaseException | str) -> str:
+        """Count one failure of ``op`` and enter degraded mode.
+
+        ``error`` is an exception (classified via
+        :func:`classify_store_error`) or an already-classified kind
+        string such as ``"corrupt"``.  Returns the kind.
+        """
+        kind = error if isinstance(error, str) else classify_store_error(error)
+        with self._lock:
+            self._counts[(op, kind)] = self._counts.get((op, kind), 0) + 1
+            self.degraded = True
+            self.last_error = f"{op}: {error}"
+        listener = self.listener
+        if listener is not None:
+            listener(op, kind)
+        return kind
+
+    def mark_ok(self) -> None:
+        """A store interaction succeeded: leave degraded mode."""
+        with self._lock:
+            self.degraded = False
+
+    def total(self) -> int:
+        """All failures recorded so far."""
+        with self._lock:
+            return sum(self._counts.values())
+
+    def snapshot(self) -> dict:
+        """JSON-native view: counts keyed ``"op:kind"``, flag, last error."""
+        with self._lock:
+            return {
+                "degraded": self.degraded,
+                "total": sum(self._counts.values()),
+                "errors": {
+                    f"{op}:{kind}": count
+                    for (op, kind), count in sorted(self._counts.items())
+                },
+                "last_error": self.last_error,
+            }
+
+
+#: The process-wide log offline paths (``batch_estimate``) record into;
+#: the service plane uses one :class:`StoreErrorLog` per registry instead.
+STORE_ERRORS = StoreErrorLog()
+
+
+def _document_digest(document: dict[str, Any]) -> str:
+    """SHA-256 hex digest of a document's canonical serialization.
+
+    Canonical = sorted keys, compact separators, the ``digest`` field
+    itself excluded.  Computed over the parsed values (not the file
+    bytes), so the verification is byte-layout independent — and because
+    v4 files are *written* in this same compact form, every byte of the
+    file is semantic: any single-bit flip either breaks the JSON parse
+    or changes a value the digest covers.
+    """
+    body = {key: value for key, value in document.items() if key != "digest"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 @contextlib.contextmanager
 def _directory_lock(directory: str):
     """Advisory exclusive lock on a store directory (no-op without fcntl).
@@ -151,6 +299,28 @@ def _directory_lock(directory: str):
         yield
     finally:
         os.close(descriptor)  # closing releases the flock
+
+
+def _fsync_directory(directory: str, ops: "_fsfault.FsOps") -> None:
+    """Make a completed rename durable (best-effort where unsupported).
+
+    A failure here never loses data that was not already at risk: the
+    replace has landed, so the new entry is visible; the directory fsync
+    only narrows the power-loss window.  Platforms/filesystems that
+    cannot open or fsync directories degrade silently — the rename is
+    still atomic.  (A :class:`~repro.engine.fsfault.CrashPoint` is a
+    ``BaseException`` and sails through, like the real crash it models.)
+    """
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        ops.fsync_dir(descriptor)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(descriptor)
 
 
 def instance_cache_key(
@@ -196,6 +366,11 @@ class CacheEntry:
         self._database = database
         self._constraints = constraints
         self._dirty = False
+        #: Why the on-disk entry was unusable, when it was: ``"corrupt"``
+        #: (damage the digest/structure checks caught) or an OSError kind
+        #: from :func:`classify_store_error`.  ``None`` for a clean load
+        #: *and* for a plain miss — absence is not an error.
+        self.load_error: str | None = None
         self._document = self._load()
         self._pool: "SamplePool | None" = None
         self._rng = None
@@ -214,26 +389,51 @@ class CacheEntry:
             "batch": None,
         }
         try:
-            with open(self.path, encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            raw = _fsfault.active().read_bytes(self.path)
+        except FileNotFoundError:
+            return empty
+        except OSError as error:
+            self.load_error = classify_store_error(error)
+            return empty
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            self.load_error = "corrupt"
             return empty
         if not isinstance(document, dict):
+            self.load_error = "corrupt"
             return empty
         version = document.get("version")
-        if version not in (2, STORE_VERSION):
-            return empty
+        if version not in (2, 3, STORE_VERSION):
+            return empty  # a legitimately old/new format, not damage
         for field, kind in (("possibility", dict), ("bounds", dict), ("samples", list)):
             if not isinstance(document.get(field), kind):
+                self.load_error = "corrupt"
                 return empty
         if version == 2:
             return self._upgrade_v2(document, empty)
         if document.get("backend") not in (None, "scalar", "vector"):
+            self.load_error = "corrupt"
             return empty
         batch = document.get("batch")
         if batch is not None and (
             isinstance(batch, bool) or not isinstance(batch, int) or batch < 1
         ):
+            self.load_error = "corrupt"
+            return empty
+        if version == 3:
+            # Digestless v3 entries load warm as-is; the dirty mark makes
+            # the next save rewrite them inside the v4 envelope.
+            document["version"] = STORE_VERSION
+            document["words"] = self._sample_words()
+            self._dirty = True
+            return document
+        if document.get("words") != self._sample_words():
+            self.load_error = "corrupt"
+            return empty
+        digest = document.get("digest")
+        if not isinstance(digest, str) or digest != _document_digest(document):
+            self.load_error = "corrupt"
             return empty
         return document
 
@@ -284,38 +484,75 @@ class CacheEntry:
             return []
         return decoded
 
-    def save(self) -> None:
-        """Atomically persist the entry if anything changed since loading.
+    def save(self) -> bool:
+        """Crash-consistently persist the entry if anything changed.
+
+        Returns ``True`` when a commit actually reached the filesystem,
+        ``False`` for the clean no-op (nothing dirty) — callers that
+        account store health (degraded mode) must not treat a no-op as
+        evidence the disk works.
 
         Never a blind write: under an advisory lock on the store
         directory (where the platform has one) the on-disk document is
         reloaded and merged first, so a concurrent run that appended its
         own sample batches or verdicts between our load and our save
         keeps them — see :meth:`_merge_from_disk`.
+
+        The commit sequence is write → fsync(temp) → ``os.replace`` →
+        fsync(directory): a crash before the replace leaves the old
+        entry untouched, a crash after it leaves the new entry complete
+        (the temp file's contents are durable *before* the rename makes
+        them visible), and the directory fsync makes the rename itself
+        durable.  The v4 envelope (``digest`` over the canonical
+        serialization, ``words``) is stamped here.  Raises
+        :class:`CacheSerializationError` when the document holds
+        non-JSON-native values, ``OSError`` on filesystem failure.
         """
         if self._pool is not None:
             self._sync_pool()
         if not self._dirty:
-            return
+            return False
         directory = os.path.dirname(self.path) or "."
         os.makedirs(directory, exist_ok=True)
+        ops = _fsfault.active()
         with _directory_lock(directory):
             self._merge_from_disk()
+            payload = dict(self._document)
+            payload["version"] = STORE_VERSION
+            payload["words"] = self._sample_words()
+            payload.pop("digest", None)
+            try:
+                payload["digest"] = _document_digest(payload)
+                # Written in the same canonical form the digest is
+                # computed over: every byte of the file is semantic.
+                encoded = json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            except (TypeError, ValueError) as error:
+                raise CacheSerializationError(
+                    f"cache entry is not JSON-serializable: {error}"
+                ) from error
             descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
-                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                    json.dump(self._document, handle)
-                os.replace(temp_path, self.path)
+                try:
+                    ops.write(descriptor, encoded)
+                    ops.fsync(descriptor)
+                finally:
+                    os.close(descriptor)
+                ops.replace(temp_path, self.path)
             except Exception:
-                # Clean the temp file up on *any* failure — e.g. TypeError
-                # from facts whose constants are not JSON-native — before
-                # re-raising.
+                # Clean the temp file up on failure before re-raising.
+                # (CrashPoint is a BaseException and deliberately skips
+                # this — a simulated crash must leave its wreckage.)
                 try:
                     os.unlink(temp_path)
                 except OSError:
                     pass
                 raise
+            _fsync_directory(directory, ops)
+        self._document = payload
         self._dirty = False
+        return True
 
     def _merge_from_disk(self) -> None:
         """Fold a concurrent writer's on-disk progress into this document.
@@ -635,10 +872,50 @@ class CacheEntry:
 
 
 class CacheStore:
-    """A directory of :class:`CacheEntry` files, one per instance key."""
+    """A directory of :class:`CacheEntry` files, one per instance key.
 
-    def __init__(self, directory: str):
+    Opening a store sweeps orphaned ``*.tmp`` files — the wreckage of
+    crashed or failed writers — that are older than
+    ``tmp_grace_seconds`` (default :data:`TMP_SWEEP_GRACE_SECONDS`),
+    under the same advisory directory lock saves take, so a live
+    writer's in-flight temp file is never collected.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        tmp_grace_seconds: float = TMP_SWEEP_GRACE_SECONDS,
+    ):
         self.directory = str(directory)
+        self.tmp_grace_seconds = tmp_grace_seconds
+        self.swept_temps = self.sweep_temps()
+
+    def sweep_temps(self) -> int:
+        """Unlink stale orphaned temp files; returns how many went.
+
+        Best-effort on every path: a missing directory, an unlistable
+        directory, or a temp file that vanishes mid-sweep (a concurrent
+        sweeper, or the writer completing) is simply skipped.
+        """
+        try:
+            names = [n for n in os.listdir(self.directory) if n.endswith(".tmp")]
+        except OSError:
+            return 0
+        if not names:
+            return 0
+        removed = 0
+        cutoff = time.time() - self.tmp_grace_seconds
+        with _directory_lock(self.directory):
+            for name in names:
+                path = os.path.join(self.directory, name)
+                try:
+                    if os.stat(path).st_mtime <= cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    continue
+        return removed
 
     def entry(
         self,
@@ -651,3 +928,169 @@ class CacheStore:
         key = instance_cache_key(database, constraints, generator_name, seed)
         path = os.path.join(self.directory, f"{key}.json")
         return CacheEntry(path, database, constraints)
+
+
+# -- fsck ------------------------------------------------------------------------------
+
+
+class FsckReport:
+    """What :func:`fsck_store` found in one cache directory.
+
+    ``entries`` rows are ``{"file", "status", "detail"}`` with status
+    ``"ok"`` / ``"damaged"`` / ``"quarantined"`` (damaged + repaired) /
+    ``"orphan-tmp"`` / ``"removed-tmp"``.  ``ok`` is ``False`` exactly
+    when damage was found — repaired or not — so a CI leg can assert
+    "fsck fails, repair, fsck passes".  Orphan temp files are reported
+    but are *not* damage (every crashed writer leaves one).
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.entries: list[dict] = []
+        self.scanned = 0
+        self.damaged = 0
+        self.quarantined = 0
+        self.orphan_temps = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.damaged == 0
+
+    def to_dict(self) -> dict:
+        """The report as one JSON-native document."""
+        return {
+            "directory": self.directory,
+            "ok": self.ok,
+            "scanned": self.scanned,
+            "damaged": self.damaged,
+            "quarantined": self.quarantined,
+            "orphan_temps": self.orphan_temps,
+            "entries": list(self.entries),
+        }
+
+    def render(self) -> str:
+        """The human-readable summary the ``fsck`` CLI prints."""
+        lines = [
+            f"fsck {self.directory}: {self.scanned} entries scanned, "
+            f"{self.damaged} damaged"
+            + (f" ({self.quarantined} quarantined)" if self.quarantined else "")
+            + (
+                f", {self.orphan_temps} orphan temp files"
+                if self.orphan_temps
+                else ""
+            )
+        ]
+        for row in self.entries:
+            if row["status"] != "ok":
+                lines.append(f"  {row['file']}: {row['status']} — {row['detail']}")
+        lines.append("fsck " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _fsck_document(document: Any) -> str | None:
+    """Damage detail for one parsed entry document (``None`` = clean)."""
+    if not isinstance(document, dict):
+        return "not a JSON object"
+    version = document.get("version")
+    if version not in (2, 3, STORE_VERSION):
+        return f"unknown store version {version!r}"
+    for field, kind in (("possibility", dict), ("bounds", dict), ("samples", list)):
+        if not isinstance(document.get(field), kind):
+            return f"malformed {field!r} field"
+    if version == 2:
+        return None  # digestless legacy; loads upgrade or recompute it
+    if document.get("backend") not in (None, "scalar", "vector"):
+        return f"unknown sample backend {document.get('backend')!r}"
+    widths = set()
+    for row in document["samples"]:
+        if not isinstance(row, list):
+            return "non-list sample row"
+        widths.add(len(row))
+        for word in row:
+            if (
+                isinstance(word, bool)
+                or not isinstance(word, int)
+                or not 0 <= word < (1 << _WORD_BITS)
+            ):
+                return f"sample word {word!r} outside uint64"
+    if len(widths) > 1:
+        return f"inconsistent sample row widths {sorted(widths)}"
+    if version == 3:
+        return None  # digestless; structural checks are all we have
+    words = document.get("words")
+    if isinstance(words, bool) or not isinstance(words, int) or words < 0:
+        return f"malformed 'words' field {words!r}"
+    if widths and widths != {words}:
+        return f"sample rows are {sorted(widths)} words wide, header says {words}"
+    digest = document.get("digest")
+    if not isinstance(digest, str):
+        return "missing content digest"
+    expected = _document_digest(document)
+    if digest != expected:
+        return f"content digest mismatch (stored {digest[:12]}…, computed {expected[:12]}…)"
+    return None
+
+
+def fsck_store(directory: str, *, repair: bool = False) -> FsckReport:
+    """Scan a cache directory; verify every entry's digest and structure.
+
+    Checks each ``*.json`` entry for valid JSON, a known store version,
+    field structure, packed-row shape, and — for v4 entries — the
+    SHA-256 content digest (which catches any torn write, truncation or
+    bit flip).  Orphaned ``*.tmp`` files are reported informationally.
+    With ``repair=True``, damaged entries are **quarantined** (renamed
+    to ``<name>.quarantined``, preserving the bytes for forensics) so
+    the next warm run recomputes cleanly, and orphan temp files are
+    removed regardless of age.  The scan needs no database: v4 entries
+    carry their row width in ``words``.
+    """
+    report = FsckReport(str(directory))
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as error:
+        report.entries.append(
+            {"file": "", "status": "damaged", "detail": f"unlistable: {error}"}
+        )
+        report.damaged += 1
+        return report
+    for name in names:
+        path = os.path.join(directory, name)
+        if name.endswith(".tmp"):
+            status = "orphan-tmp"
+            detail = "leftover writer temp file"
+            report.orphan_temps += 1
+            if repair:
+                try:
+                    os.unlink(path)
+                    status = "removed-tmp"
+                except OSError as error:
+                    detail = f"could not remove: {error}"
+            report.entries.append({"file": name, "status": status, "detail": detail})
+            continue
+        if not name.endswith(".json"):
+            continue
+        report.scanned += 1
+        detail = None
+        try:
+            raw = _fsfault.active().read_bytes(path)
+        except OSError as error:
+            detail = f"unreadable: {error}"
+        if detail is None:
+            try:
+                detail = _fsck_document(json.loads(raw.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as error:
+                detail = f"invalid JSON: {error}"
+        if detail is None:
+            report.entries.append({"file": name, "status": "ok", "detail": ""})
+            continue
+        report.damaged += 1
+        status = "damaged"
+        if repair:
+            try:
+                os.replace(path, path + ".quarantined")
+                status = "quarantined"
+                report.quarantined += 1
+            except OSError as error:
+                detail = f"{detail}; quarantine failed: {error}"
+        report.entries.append({"file": name, "status": status, "detail": detail})
+    return report

@@ -52,6 +52,7 @@ import re
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -117,6 +118,18 @@ class LoadTestConfig:
     #: :attr:`inject_kill` the router stays up, so the respawn must be
     #: *transparent*: no transport errors, no 5xx, bit-identical rows.
     inject_worker_kill: bool = False
+    #: Break the disk mid-storm via ``POST /_fault``: every store write
+    #: fails with ENOSPC and store reads come back with one flipped bit,
+    #: exercised immediately through spill/drop/re-admission.  The server
+    #: must degrade (``repro_degraded_mode`` high, store errors
+    #: accounted), keep answering with zero 5xx and zero bit-identity
+    #: drift, and recover once the fault clears.  Requires an in-process
+    #: store (``workers == 0``); the owned server gets a scratch
+    #: ``cache_dir`` automatically.
+    inject_disk_fault: bool = False
+    #: Cache directory for the owned server (``None`` = no store, or a
+    #: private temporary directory when ``inject_disk_fault`` needs one).
+    cache_dir: str | None = None
     #: Shard worker processes for the owned server (``0`` = in-process
     #: single registry, exactly the pre-sharding plane).
     workers: int = 0
@@ -163,6 +176,11 @@ class LoadTestReport:
     rejected_missing_retry_after: int = 0
     worker_kills: int = 0
     worker_restarts: int = 0
+    #: ``repro_degraded_mode`` sampled right after the disk fault went in
+    #: (must be 1) and after it cleared (must be back to 0).
+    degraded_peak: int = 0
+    degraded_final: int = 0
+    store_errors: int = 0
     metrics_scrapes: int = 0
     metrics_violations: list[str] = field(default_factory=list)
     failures: list[str] = field(default_factory=list)
@@ -196,6 +214,9 @@ class LoadTestReport:
             "rejected_missing_retry_after": self.rejected_missing_retry_after,
             "worker_kills": self.worker_kills,
             "worker_restarts": self.worker_restarts,
+            "degraded_peak": self.degraded_peak,
+            "degraded_final": self.degraded_final,
+            "store_errors": self.store_errors,
             "metrics_scrapes": self.metrics_scrapes,
             "metrics_violations": self.metrics_violations,
             "failures": self.failures,
@@ -235,6 +256,12 @@ def format_report(report: LoadTestReport) -> str:
             -1,
             f"  worker kills        {report.worker_kills} injected, "
             f"{report.worker_restarts} respawns observed",
+        )
+    if report.config.get("inject_disk_fault"):
+        lines.insert(
+            -1,
+            f"  disk faults         degraded {report.degraded_peak} -> "
+            f"{report.degraded_final}, {report.store_errors} store errors accounted",
         )
     for failure in report.failures:
         lines.append(f"  FAIL: {failure}")
@@ -286,6 +313,7 @@ class ServerProcess:
         answer_cache_size: int | None = None,
         fault_injection: bool = True,
         workers: int = 0,
+        cache_dir: str | None = None,
         startup_timeout: float = 60.0,
     ):
         self.seed = seed
@@ -296,6 +324,7 @@ class ServerProcess:
         self.answer_cache_size = answer_cache_size
         self.fault_injection = fault_injection
         self.workers = workers
+        self.cache_dir = cache_dir
         self.startup_timeout = startup_timeout
         self.port = 0
         self.url: str | None = None
@@ -329,6 +358,8 @@ class ServerProcess:
             command += ["--enable-fault-injection"]
         if self.workers:
             command += ["--workers", str(self.workers)]
+        if self.cache_dir is not None:
+            command += ["--cache-dir", self.cache_dir]
         return command
 
     def start(self, port: int = 0) -> str:
@@ -767,8 +798,19 @@ def run_loadtest(
     stopping it.
     """
     config = config or LoadTestConfig()
+    if config.inject_disk_fault and config.workers:
+        raise ValueError(
+            "inject_disk_fault requires an in-process store (workers == 0): "
+            "the /_fault disk shim is process-local and would miss the shards"
+        )
     owned: ServerProcess | None = None
+    scratch: tempfile.TemporaryDirectory | None = None
     if base_url is None and server is None:
+        cache_dir = config.cache_dir
+        if cache_dir is None and config.inject_disk_fault:
+            # The disk-fault beat needs a store to break.
+            scratch = tempfile.TemporaryDirectory(prefix="repro-loadtest-cache-")
+            cache_dir = scratch.name
         owned = server = ServerProcess(
             seed=config.seed,
             max_queue=config.max_queue,
@@ -778,6 +820,7 @@ def run_loadtest(
             answer_cache_size=config.answer_cache_size,
             fault_injection=True,
             workers=config.workers,
+            cache_dir=cache_dir,
         )
         owned.start()
     if server is not None:
@@ -788,6 +831,8 @@ def run_loadtest(
     finally:
         if owned is not None:
             owned.stop()
+        if scratch is not None:
+            scratch.cleanup()
 
 
 def _run_phases(
@@ -910,12 +955,59 @@ def _run_phases(
         else:
             if killed.get("killed_pid"):
                 report.worker_kills += 1
+    if config.inject_disk_fault:
+        # Seed the store with clean spills, then break the disk: writes
+        # fail with ENOSPC, reads flip one bit, and sessions are dropped
+        # so re-admissions hit both — the server must enter degraded
+        # mode while keeping answers clean (the usual 5xx and
+        # bit-identity invariants stay armed throughout).
+        control._call("POST", "/_fault", {"spill_sessions": True})
+        faulted = control._call(
+            "POST",
+            "/_fault",
+            {
+                "disk_enospc": True,
+                "disk_bitflip": config.seed + 1,
+                "drop_sessions": True,
+            },
+        )
+        report.final_stats["disk_fault"] = faulted
+        # Deterministic probe (the storm races): a unique-label request
+        # misses the answer cache, re-admits its session, and reads the
+        # bitflipped entry — a corrupt load served by recompute.  The
+        # recomputed session is dirty, so the spill that follows hits
+        # the injected ENOSPC.  Both must trip the degraded gauge.
+        retrying = ServiceClient(
+            url, timeout=config.request_timeout, max_retries=50, retry_after_cap=0.1
+        )
+        _call_item(
+            retrying,
+            mix[0],
+            f"{mix[0].request.label}:disk-fault-probe",
+            phase="faults",
+            recorder=recorder,
+        )
+        control._call("POST", "/_fault", {"spill_sessions": True})
+        report.degraded_peak = int(
+            control.metrics().get("repro_degraded_mode", 0)
+        )
     time.sleep(beat)
     if config.inject_kill and server is not None:
         server.restart()
     time.sleep(beat)
     if config.inject_slow:
         control._call("POST", "/_fault", {"reset": True})
+    if config.inject_disk_fault:
+        # Heal the disk and exercise the store again: the next spill
+        # succeeds, so degraded mode must clear (level-triggered).
+        control._call(
+            "POST",
+            "/_fault",
+            {"disk_enospc": False, "disk_bitflip": 0, "spill_sessions": True},
+        )
+        report.degraded_final = int(
+            control.metrics().get("repro_degraded_mode", 0)
+        )
     storm.join(timeout=config.fault_seconds + config.request_timeout + 60)
     report.deadline_hits = sum(1 for s in recorder.samples if s.kind == "deadline")
 
@@ -934,6 +1026,9 @@ def _run_phases(
     # A kill-fault restart resets the counter; keep the pre-kill reading.
     report.poisoned_detected = max(
         report.poisoned_detected, cache_stats.get("poisoned", 0)
+    )
+    report.store_errors = int(
+        (final_stats.get("registry") or {}).get("store_errors", 0) or 0
     )
 
     snapshots = scraper.stop()
@@ -1020,6 +1115,19 @@ def _score(
             failures.append(
                 "a shard worker was SIGKILLed but the router never "
                 "reported a respawn"
+            )
+    if config.inject_disk_fault:
+        if report.degraded_peak == 0:
+            failures.append(
+                "disk faults were injected but repro_degraded_mode never raised"
+            )
+        if report.degraded_final:
+            failures.append(
+                "storage stayed degraded after the disk fault was cleared"
+            )
+        if report.store_errors == 0:
+            failures.append(
+                "disk faults were injected but no store errors were accounted"
             )
     if (
         config.check_p99

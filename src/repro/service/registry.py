@@ -36,6 +36,15 @@ state back — so a group bouncing in and out of a small registry never
 redraws samples it already paid for.  Spills merge with concurrent
 writers instead of clobbering them (see :meth:`CacheEntry.save
 <repro.engine.store.CacheEntry.save>`).
+
+**Degraded mode.**  The store is an accelerator, never an authority:
+any warm-start or spill failure (ENOSPC, read-only filesystem, a
+corrupt entry) is recorded in the registry's
+:class:`~repro.engine.store.StoreErrorLog` and the group is served
+compute-without-cache instead of erroring.  ``stats()["degraded"]``
+stays raised until the next store operation succeeds, and the server
+exports the log as ``repro_store_errors_total{op,kind}`` and
+``repro_degraded_mode``.
 """
 
 from __future__ import annotations
@@ -49,7 +58,12 @@ from ..core.database import Database
 from ..core.dependencies import FDSet
 from ..engine.batch import BatchRequest, BatchResult, group_seed_for, run_group
 from ..engine.session import EstimationSession
-from ..engine.store import CacheStore, instance_cache_key
+from ..engine.store import (
+    CacheSerializationError,
+    CacheStore,
+    StoreErrorLog,
+    instance_cache_key,
+)
 
 #: Default LRU capacity of a registry (warm groups kept in memory).
 DEFAULT_MAX_SESSIONS = 32
@@ -70,11 +84,14 @@ class SessionHandle:
         session: EstimationSession,
         pool,
         seed: int | None,
+        storage: StoreErrorLog | None = None,
     ):
         self.key = key
         self.session = session
         self.pool = pool
         self.seed = seed
+        #: Where spill failures are accounted (the owning registry's log).
+        self.storage = storage
         #: Serializes all session/pool mutation — hold it for any direct
         #: use of :attr:`session` or :attr:`pool` outside :meth:`run`.
         self.lock = threading.Lock()
@@ -110,17 +127,27 @@ class SessionHandle:
         return results  # type: ignore[return-value]  # run_group fills every slot
 
     def spill(self) -> None:
-        """Persist the session's cache entry, best-effort (see batch.py:
-        the cache is an accelerator — an unwritable directory or
-        non-JSON constants must never take the service down)."""
+        """Persist the session's cache entry, best-effort (the cache is
+        an accelerator — an unwritable directory or non-JSON constants
+        must never take the service down).  Failures are absorbed but
+        *accounted* in :attr:`storage`; anything outside the expected
+        disk/serialization failure modes is a store bug and propagates.
+        """
         cache = self.session.cache
         if cache is None:
             return
         with self.lock:
             try:
-                cache.save()
-            except (OSError, TypeError, ValueError):
-                pass
+                committed = cache.save()
+            except (OSError, CacheSerializationError) as error:
+                if self.storage is not None:
+                    self.storage.record("spill", error)
+            else:
+                # A no-op save (nothing dirty) never touched the disk —
+                # it is not evidence the store recovered, so only a real
+                # commit clears degraded mode.
+                if committed and self.storage is not None:
+                    self.storage.mark_ok()
 
     def release_shared(self) -> None:
         """Detach the pool from shared memory (after :meth:`spill`).
@@ -188,6 +215,8 @@ class SessionRegistry:
         self.use_kernel = use_kernel
         self.max_sessions = max_sessions
         self.shared_pools = shared_pools
+        #: Per-registry store-failure accounting; drives degraded mode.
+        self.storage = StoreErrorLog()
         self.store = CacheStore(cache_dir) if cache_dir is not None else None
         self._handles: OrderedDict[str, SessionHandle] = OrderedDict()
         self._lock = threading.Lock()
@@ -290,10 +319,26 @@ class SessionRegistry:
         constraints: FDSet,
         generator: MarkovChainGenerator,
     ) -> SessionHandle:
-        """Build a cold group's session + pool (outside the registry lock)."""
+        """Build a cold group's session + pool (outside the registry lock).
+
+        Degraded admission: if the store cannot even hand out an entry,
+        or warm-starting the pool fails, the group is served
+        compute-without-cache and the failure is accounted — a broken
+        disk must never turn into a 500.  A *damaged* entry
+        (``load_error`` set) stays attached: it warm-starts empty and
+        becomes the save target once the group recomputes.
+        """
         cache = None
         if self.store is not None and seed is not None:
-            cache = self.store.entry(database, constraints, generator.name, seed)
+            try:
+                cache = self.store.entry(database, constraints, generator.name, seed)
+            except OSError as error:
+                self.storage.record("load", error)
+            else:
+                if cache.load_error is not None:
+                    self.storage.record("load", cache.load_error)
+                else:
+                    self.storage.mark_ok()
         session = EstimationSession(
             database,
             constraints,
@@ -305,10 +350,22 @@ class SessionRegistry:
         # Raises FPRASUnavailable for out-of-scope groups before admission.
         shared = self.shared_pools
         if cache is not None:
-            pool = session.cached_pool(seed, shared=shared)
+            try:
+                pool = session.cached_pool(seed, shared=shared)
+            except OSError as error:
+                self.storage.record("warm", error)
+                session = EstimationSession(
+                    database,
+                    constraints,
+                    generator,
+                    cache=None,
+                    use_kernel=self.use_kernel,
+                    backend=self.backend,
+                )
+                pool = session.pool_for_seed(seed, shared=shared)
         else:
             pool = session.pool_for_seed(seed, shared=shared)
-        return SessionHandle(key, session, pool, seed)
+        return SessionHandle(key, session, pool, seed, storage=self.storage)
 
     def estimate(
         self, requests: Sequence[BatchRequest], mode: str = "fixed"
@@ -349,9 +406,37 @@ class SessionRegistry:
         with self._lock:
             return list(self._handles.values())
 
+    def spill_all(self) -> int:
+        """Spill every warm session's cache entry, keeping them warm.
+
+        Returns the number of handles spilled.  Exercises the store
+        immediately, so the fault-injection plane (``POST /_fault``) can
+        observe injected disk faults — and recovery from them — without
+        waiting for organic eviction traffic.
+        """
+        handles = self.handles()
+        for handle in handles:
+            handle.spill()
+        return len(handles)
+
+    def drop_sessions(self) -> int:
+        """Drop every warm session *without* spilling.
+
+        Returns the number of handles dropped.  The next request per
+        group re-admits from disk — the fault-injection plane uses this
+        to force warm-start reads under an injected read fault.
+        """
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            handle.release_shared()
+        return len(handles)
+
     def stats(self) -> dict:
         """Registry-level counters plus per-session rows, JSON-native."""
         handles = self.handles()
+        storage = self.storage.snapshot()
         return {
             "sessions": len(handles),
             "max_sessions": self.max_sessions,
@@ -361,6 +446,9 @@ class SessionRegistry:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "store_errors": storage["total"],
+            "degraded": storage["degraded"],
+            "storage": storage,
             "groups": [handle.stats() for handle in handles],
         }
 

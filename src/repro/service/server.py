@@ -38,8 +38,17 @@ Operational hardening (PR 7):
   memoized.
 * **Fault injection** (``fault_injection=True`` / ``serve
   --enable-fault-injection``) — a ``POST /_fault`` endpoint the
-  load-test harness uses to slow handlers and poison cache entries;
-  absent (404) in normal operation.
+  load-test harness uses to slow handlers, poison cache entries, and
+  (PR 9) inject disk faults — ``disk_enospc`` / ``disk_bitflip``
+  install a persistent :mod:`repro.engine.fsfault` plan, and
+  ``spill_sessions`` / ``drop_sessions`` exercise the store so the
+  fault (and recovery) is observable immediately; absent (404) in
+  normal operation.
+* **Degraded-mode storage** (PR 9) — registry warm-start/spill
+  failures are absorbed and accounted
+  (``repro_store_errors_total{op,kind}``, ``repro_degraded_mode``,
+  ``storage`` sections in ``/healthz`` and ``/stats``); a broken disk
+  degrades the cache, never the answers.
 
 Instance documents must be inline: the on-disk workload format's
 "instance by file path" convenience is rejected here (a network service
@@ -63,6 +72,7 @@ import threading
 import time
 from typing import Any, Callable, Mapping
 
+from ..engine import fsfault as _fsfault
 from ..engine.batch import BatchRequest, BatchResult
 from ..io import InstanceFormatError, batch_result_to_row, workload_from_dict
 from .batching import MODES, MicroBatcher, QueueFull
@@ -299,7 +309,11 @@ class EstimationServer:
             AnswerCache(answer_cache_size) if answer_cache_size else None
         )
         self.fault_injection = fault_injection
-        self._faults: dict[str, float] = {"slow_seconds": 0.0}
+        self._faults: dict[str, float] = {
+            "slow_seconds": 0.0,
+            "disk_enospc": 0.0,
+            "disk_bitflip": 0.0,
+        }
         self.host = host
         self.port = port
         self.address: tuple[str, int] | None = None
@@ -363,6 +377,25 @@ class EstimationServer:
             "repro_registry_evictions_total",
             "Warm sessions evicted from the registry LRU.",
             callback=lambda: self.registry.evictions,
+        )
+        # Store failures arrive from worker threads (spills, admissions),
+        # so the labeled counter is driven by the registry log's listener
+        # rather than a callback (labeled callbacks are not supported,
+        # and the log already serializes recording).
+        self._m_store_errors = metrics.counter(
+            "repro_store_errors_total",
+            "Cache-store failures absorbed into degraded mode, by "
+            "operation (load/warm/spill/save) and kind.",
+            ("op", "kind"),
+        )
+        self.registry.storage.listener = (
+            lambda op, kind: self._m_store_errors.labels(op, kind).inc()
+        )
+        metrics.gauge(
+            "repro_degraded_mode",
+            "1 while the most recent cache-store interaction failed "
+            "(this process or any shard), 0 otherwise.",
+            callback=self._storage_degraded,
         )
         metrics.counter(
             "repro_answer_cache_hits_total",
@@ -442,6 +475,12 @@ class EstimationServer:
                     "misses",
                 ),
                 (
+                    "repro_shard_store_errors",
+                    "Cache-store failures per shard registry (resets on respawn).",
+                    "registry",
+                    "store_errors",
+                ),
+                (
                     "repro_shard_pending_requests",
                     "Micro-batcher queued requests per shard.",
                     "batching",
@@ -478,6 +517,20 @@ class EstimationServer:
             return series
 
         return read
+
+    def _storage_degraded(self) -> int:
+        """1 while any registry's last store interaction failed.
+
+        Covers the in-process registry and — in sharded mode — the most
+        recent shard snapshot (refreshed on every ``/stats`` and
+        ``/metrics`` request, so scraping keeps it current).
+        """
+        if self.registry.storage.degraded:
+            return 1
+        for entry in self._shard_snapshot:
+            if entry and (entry.get("registry") or {}).get("degraded"):
+                return 1
+        return 0
 
     def _observe_batch(self, key: str, seconds: float, width: int) -> None:
         self._m_batch_seconds.labels(key[:12]).observe(seconds)
@@ -751,10 +804,19 @@ class EstimationServer:
     # -- monitoring endpoints ----------------------------------------------------------
 
     def _healthz(self) -> dict:
+        # Degraded storage does not fail liveness: the whole point of
+        # degraded mode is that the service keeps answering (by
+        # recomputing) while the disk is broken.
+        storage = self.registry.storage.snapshot()
         document = {
             "status": "ok",
             "sessions": len(self.registry.handles()),
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "storage": {
+                "degraded": bool(self._storage_degraded()),
+                "store_errors": storage["total"],
+                "last_error": storage["last_error"],
+            },
         }
         if self.workers:
             document["workers"] = self._workers_document()
@@ -793,6 +855,8 @@ class EstimationServer:
             aggregated = aggregate_shard_stats(per_shard)
             registry_stats = {**registry_stats, **aggregated["registry"]}
             batching_stats = {**batching_stats, **aggregated["batching"]}
+            # "degraded" is a level, not a counter — fold with OR, not sum.
+            registry_stats["degraded"] = bool(self._storage_degraded())
         document = {
             "requests_served": self.requests_served,
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
@@ -830,17 +894,66 @@ class EstimationServer:
 
     # -- fault injection (test surface) ------------------------------------------------
 
+    def _apply_disk_faults(self) -> None:
+        """Install (or clear) the fsfault shim matching ``self._faults``.
+
+        One combined plan: ``disk_enospc`` fails every store write with
+        ``ENOSPC``; ``disk_bitflip`` flips one seeded bit per store read.
+        Both off restores the passthrough shim.
+        """
+        enospc = bool(self._faults["disk_enospc"])
+        bitflip = int(self._faults["disk_bitflip"])
+        if not enospc and not bitflip:
+            _fsfault.reset()
+            return
+        _fsfault.install(
+            _fsfault.FaultyOps(
+                _fsfault.FaultPlan(
+                    write_enospc=enospc,
+                    bitflip_seed=bitflip if bitflip else None,
+                )
+            )
+        )
+
     async def _fault(self, document: Mapping[str, Any]) -> dict:
         """Inject operational faults (only routed with ``fault_injection``)."""
         report: dict[str, Any] = {}
         if document.get("reset"):
             self._faults["slow_seconds"] = 0.0
+            self._faults["disk_enospc"] = 0.0
+            self._faults["disk_bitflip"] = 0.0
+            self._apply_disk_faults()
             report["reset"] = True
         if "slow_seconds" in document:
             value = document["slow_seconds"]
             if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
                 raise _BadRequest("'slow_seconds' must be a non-negative number")
             self._faults["slow_seconds"] = float(value)
+        if "disk_enospc" in document or "disk_bitflip" in document:
+            if self.worker_pool is not None:
+                # The shim is process-local; in sharded mode the store
+                # lives in the workers, where it would silently miss.
+                raise _BadRequest(
+                    "disk faults require in-process mode (no --workers)"
+                )
+            if "disk_enospc" in document:
+                value = document["disk_enospc"]
+                if not isinstance(value, bool):
+                    raise _BadRequest("'disk_enospc' must be a boolean")
+                self._faults["disk_enospc"] = float(value)
+            if "disk_bitflip" in document:
+                value = document["disk_bitflip"]
+                if value is True:
+                    value = 1
+                if value is False:
+                    value = 0
+                if not isinstance(value, int) or value < 0:
+                    raise _BadRequest(
+                        "'disk_bitflip' must be a boolean or a positive "
+                        "integer seed (0/false clears it)"
+                    )
+                self._faults["disk_bitflip"] = float(value)
+            self._apply_disk_faults()
         if document.get("poison_cache"):
             if self.answer_cache is None:
                 raise _BadRequest("answer cache is disabled; nothing to poison")
@@ -862,6 +975,17 @@ class EstimationServer:
                 )
             report["killed_worker"] = shard
             report["killed_pid"] = self.worker_pool.kill(shard)
+        if document.get("spill_sessions"):
+            # Exercise the store now (after any disk-fault change above),
+            # so injected failures — and recovery — surface immediately
+            # instead of waiting for organic eviction traffic.  Spilling
+            # walks session locks: keep it off the event loop.
+            report["spilled_sessions"] = await asyncio.get_running_loop(
+            ).run_in_executor(None, self.registry.spill_all)
+        if document.get("drop_sessions"):
+            # Force the next request per group to re-admit from disk
+            # (warm-start reads then run under any injected read fault).
+            report["dropped_sessions"] = self.registry.drop_sessions()
         report["faults"] = dict(self._faults)
         return report
 

@@ -72,7 +72,7 @@ __all__ = [
 ]
 
 #: Registry stat keys summed across shards by :func:`aggregate_shard_stats`.
-_REGISTRY_SUM_KEYS = ("sessions", "hits", "misses", "evictions")
+_REGISTRY_SUM_KEYS = ("sessions", "hits", "misses", "evictions", "store_errors")
 #: Batcher stat keys summed across shards.
 _BATCHING_SUM_KEYS = (
     "batches_run",

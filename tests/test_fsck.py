@@ -1,0 +1,176 @@
+"""Offline store verification: ``fsck_store`` and ``python -m repro fsck``.
+
+The detection contract: v4 entries are written in canonical compact JSON
+and carry a SHA-256 digest over every semantic byte, so **any**
+single-bit flip and **any** truncation must be caught (it either breaks
+the parse or changes a digested value).  ``--repair`` quarantines the
+damage, and the next warm run recomputes bit-identically against the
+offline baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.chains.generators import M_UR
+from repro.cli import main
+from repro.core.queries import atom, cq, var
+from repro.engine import BatchRequest, batch_estimate, fsck_store
+from repro.workloads import figure2_database
+
+x, y = var("x"), var("y")
+SEED = 7
+
+
+def fig2_requests():
+    database, constraints = figure2_database()
+    query = cq((x,), (atom("R", x, y),))
+    return [
+        BatchRequest(
+            database, constraints, M_UR, query,
+            answer=candidate, epsilon=0.5, delta=0.2,
+        )
+        for candidate in sorted(query.answers(database), key=repr)
+    ]
+
+
+def entry_path(cache_dir):
+    (name,) = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+    return os.path.join(cache_dir, name)
+
+
+@pytest.fixture
+def seeded_store(tmp_path):
+    """A cache dir holding one clean v4 entry + the baseline results."""
+    baseline = batch_estimate(fig2_requests(), seed=SEED, cache_dir=str(tmp_path))
+    return tmp_path, [row.result for row in baseline]
+
+
+class TestDetection:
+    def test_clean_store_passes(self, seeded_store):
+        cache_dir, _ = seeded_store
+        report = fsck_store(str(cache_dir))
+        assert report.ok and report.scanned == 1 and not report.damaged
+        assert "PASS" in report.render()
+
+    def test_every_single_bitflip_is_detected(self, seeded_store):
+        cache_dir, _ = seeded_store
+        path = entry_path(cache_dir)
+        pristine = open(path, "rb").read()
+        # Every bit of every byte: the acceptance bar is 100% detection.
+        missed = []
+        for position in range(len(pristine) * 8):
+            flipped = bytearray(pristine)
+            flipped[position // 8] ^= 1 << (position % 8)
+            with open(path, "wb") as stream:
+                stream.write(bytes(flipped))
+            if fsck_store(str(cache_dir)).ok:
+                missed.append(position)
+        assert not missed, f"{len(missed)} undetected bitflips: {missed[:10]}"
+        with open(path, "wb") as stream:
+            stream.write(pristine)
+        assert fsck_store(str(cache_dir)).ok
+
+    def test_every_truncation_is_detected(self, seeded_store):
+        cache_dir, _ = seeded_store
+        path = entry_path(cache_dir)
+        pristine = open(path, "rb").read()
+        missed = []
+        for length in range(len(pristine)):
+            with open(path, "wb") as stream:
+                stream.write(pristine[:length])
+            if fsck_store(str(cache_dir)).ok:
+                missed.append(length)
+        assert not missed, f"{len(missed)} undetected truncations"
+
+    def test_garbage_and_wrong_types_are_damage(self, seeded_store):
+        cache_dir, _ = seeded_store
+        path = entry_path(cache_dir)
+        for payload in (b"\x00\xff\x00", b"[1,2,3]", b'{"version": 4}'):
+            with open(path, "wb") as stream:
+                stream.write(payload)
+            report = fsck_store(str(cache_dir))
+            assert not report.ok, payload
+
+    def test_unknown_version_is_damage_offline(self, seeded_store):
+        # A *newer* store version is not silently "fine" to an offline
+        # auditor (unlike the load path, where it is a legitimate
+        # recompute): fsck's job is to say this tool cannot vouch for it.
+        cache_dir, _ = seeded_store
+        path = entry_path(cache_dir)
+        document = json.load(open(path))
+        document["version"] = 99
+        with open(path, "w") as stream:
+            json.dump(document, stream)
+        assert not fsck_store(str(cache_dir)).ok
+
+
+class TestRepair:
+    def test_repair_quarantines_and_warm_run_recomputes(self, seeded_store):
+        cache_dir, baseline = seeded_store
+        path = entry_path(cache_dir)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0x10
+        with open(path, "wb") as stream:
+            stream.write(bytes(data))
+
+        report = fsck_store(str(cache_dir), repair=True)
+        assert not report.ok  # damage was found (and handled)
+        assert report.quarantined == 1
+        assert os.path.exists(path + ".quarantined")
+        assert not os.path.exists(path)
+        # The store is clean now; a warm run recomputes bit-identically.
+        assert fsck_store(str(cache_dir)).ok
+        recomputed = batch_estimate(
+            fig2_requests(), seed=SEED, cache_dir=str(cache_dir)
+        )
+        assert [row.result for row in recomputed] == baseline
+        assert fsck_store(str(cache_dir)).ok
+
+    def test_repair_sweeps_orphan_temps(self, seeded_store):
+        cache_dir, _ = seeded_store
+        orphan = cache_dir / "deadbeef.tmp"
+        orphan.write_text("torn")
+        report = fsck_store(str(cache_dir))
+        assert report.ok and report.orphan_temps == 1  # informational
+        report = fsck_store(str(cache_dir), repair=True)
+        assert report.ok and not orphan.exists()
+
+    def test_quarantined_entries_are_ignored_by_scans(self, seeded_store):
+        cache_dir, _ = seeded_store
+        path = entry_path(cache_dir)
+        with open(path, "wb") as stream:
+            stream.write(b"junk")
+        fsck_store(str(cache_dir), repair=True)
+        report = fsck_store(str(cache_dir))
+        assert report.ok and report.scanned == 0
+
+
+class TestCli:
+    def test_cli_exit_codes_and_json(self, seeded_store, tmp_path_factory, capsys):
+        cache_dir, _ = seeded_store
+        assert main(["fsck", str(cache_dir)]) == 0
+        assert "fsck PASS" in capsys.readouterr().out
+
+        path = entry_path(cache_dir)
+        data = bytearray(open(path, "rb").read())
+        data[-2] ^= 1
+        with open(path, "wb") as stream:
+            stream.write(bytes(data))
+        artifact = tmp_path_factory.mktemp("fsck-artifacts") / "report.json"
+        assert main(["fsck", str(cache_dir), "--json", str(artifact)]) == 1
+        assert "fsck FAIL" in capsys.readouterr().out
+        document = json.loads(artifact.read_text())
+        assert document["ok"] is False and document["damaged"] == 1
+
+        # --repair still exits 1 (damage *was* found), then a clean pass.
+        assert main(["fsck", str(cache_dir), "--repair"]) == 1
+        capsys.readouterr()
+        assert main(["fsck", str(cache_dir)]) == 0
+
+    def test_cli_missing_directory_is_damage(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "nope")]) == 1
+        assert "FAIL" in capsys.readouterr().out

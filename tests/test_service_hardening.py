@@ -462,3 +462,157 @@ class TestMetricsEndpoint:
             name = key.split("{", 1)[0]
             if name.endswith(("_total", "_bucket", "_count", "_sum")):
                 assert second.get(key, 0) >= value, key
+
+
+# -- degraded-mode storage (PR 9) ----------------------------------------------------------
+
+
+class TestDegradedStorage:
+    """A broken disk degrades the cache, never the answers.
+
+    Faults are injected through the :mod:`repro.engine.fsfault` shim
+    (the container runs as root, so permission-based read-only setups
+    are ineffective here — the shim is also what production ENOSPC or
+    bitrot actually exercises).
+    """
+
+    def _requests(self, fig2):
+        return _requests(fig2, M_UR)
+
+    def test_spill_failure_enters_and_exits_degraded_mode(self, fig2, tmp_path):
+        from repro.engine import fsfault
+        from repro.engine.fsfault import FaultPlan
+
+        database, constraints, query, candidates = fig2
+        registry = SessionRegistry(seed=SEED, cache_dir=str(tmp_path))
+        registry.estimate(self._requests(fig2))
+        assert registry.spill_all() == 1
+        stats = registry.stats()
+        assert not stats["degraded"] and stats["store_errors"] == 0
+
+        with fsfault.injected(FaultPlan(write_enospc=True, crash="raise")):
+            handle = registry.handles()[0]
+            with handle.lock:
+                handle.pool.ensure(600)  # make the next spill dirty
+            registry.spill_all()
+        stats = registry.stats()
+        assert stats["degraded"] and stats["store_errors"] >= 1
+        assert stats["storage"]["errors"].get("spill:enospc")
+
+        registry.spill_all()  # the disk healed: recovery is automatic
+        assert not registry.stats()["degraded"]
+        registry.close()
+
+    def test_corrupt_warm_start_is_served_by_recompute(self, fig2, tmp_path):
+        from repro.engine import fsfault
+        from repro.engine.fsfault import FaultPlan
+
+        requests = self._requests(fig2)
+        seeded = SessionRegistry(seed=SEED, cache_dir=str(tmp_path))
+        baseline = [row.result for row in seeded.estimate(requests)]
+        seeded.close()
+
+        victim = SessionRegistry(seed=SEED, cache_dir=str(tmp_path))
+        listener_events = []
+        victim.storage.listener = lambda op, kind: listener_events.append((op, kind))
+        with fsfault.injected(FaultPlan(bitflip_seed=5, crash="raise")):
+            degraded = [row.result for row in victim.estimate(requests)]
+        assert degraded == baseline  # bit-identical despite the bitrot
+        assert victim.stats()["degraded"]
+        assert ("load", "corrupt") in listener_events
+        victim.close()
+
+    def test_store_error_counter_and_gauge_exported(self, fig2, tmp_path):
+        from repro.engine import fsfault
+        from repro.engine.fsfault import FaultPlan
+        from repro.service.metrics import parse_metrics_text
+
+        registry = SessionRegistry(seed=SEED, cache_dir=str(tmp_path))
+        with BackgroundServer(registry) as server:
+            client = ServiceClient(server.url)
+            healthy = client._call("GET", "/healthz")
+            assert healthy["storage"] == {
+                "degraded": False,
+                "store_errors": 0,
+                "last_error": None,
+            }
+            with fsfault.injected(FaultPlan(write_enospc=True, crash="raise")):
+                registry.estimate(self._requests(fig2))
+                registry.spill_all()
+            series = parse_metrics_text(client.metrics_text())
+            assert series["repro_degraded_mode"] == 1
+            assert (
+                series['repro_store_errors_total{kind="enospc",op="spill"}'] >= 1
+            )
+            document = client.stats()
+            assert document["registry"]["degraded"]
+            assert document["registry"]["store_errors"] >= 1
+            health = client._call("GET", "/healthz")
+            assert health["storage"]["degraded"]
+            assert health["storage"]["last_error"].startswith("spill:")
+            assert "no space left" in health["storage"]["last_error"]
+
+            registry.spill_all()
+            series = parse_metrics_text(client.metrics_text())
+            assert series["repro_degraded_mode"] == 0
+
+    def test_fault_endpoint_drives_disk_faults_end_to_end(self, fig2, tmp_path):
+        from repro.engine import fsfault
+        from repro.service.metrics import parse_metrics_text
+
+        requests = self._requests(fig2)
+        registry = SessionRegistry(seed=SEED, cache_dir=str(tmp_path))
+        try:
+            with BackgroundServer(
+                registry, server_options={"fault_injection": True}
+            ) as server:
+                client = ServiceClient(server.url)
+                baseline = [row.result for row in registry.estimate(requests)]
+                report = client._call("POST", "/_fault", {"spill_sessions": True})
+                assert report["spilled_sessions"] == 1
+
+                broken = client._call(
+                    "POST",
+                    "/_fault",
+                    {
+                        "disk_enospc": True,
+                        "disk_bitflip": 9,
+                        "drop_sessions": True,
+                    },
+                )
+                assert broken["dropped_sessions"] == 1
+                assert broken["faults"]["disk_enospc"] == 1.0
+                # Re-admission reads flipped bits -> corrupt load,
+                # served by recompute — identical answers, degraded on.
+                degraded = [row.result for row in registry.estimate(requests)]
+                assert degraded == baseline
+                series = parse_metrics_text(client.metrics_text())
+                assert series["repro_degraded_mode"] == 1
+                # The recomputed session is dirty; spilling it hits the
+                # injected ENOSPC (a second accounted failure mode).
+                client._call("POST", "/_fault", {"spill_sessions": True})
+                series = parse_metrics_text(client.metrics_text())
+                assert series["repro_degraded_mode"] == 1
+
+                healed = client._call(
+                    "POST", "/_fault", {"reset": True, "spill_sessions": True}
+                )
+                assert healed["faults"]["disk_enospc"] == 0.0
+                series = parse_metrics_text(client.metrics_text())
+                assert series["repro_degraded_mode"] == 0
+                assert client.stats()["registry"]["store_errors"] >= 2
+        finally:
+            fsfault.reset()
+
+    def test_disk_fault_validation(self, tmp_path):
+        registry = SessionRegistry(seed=SEED, cache_dir=str(tmp_path))
+        with BackgroundServer(
+            registry, server_options={"fault_injection": True}
+        ) as server:
+            client = ServiceClient(server.url)
+            with pytest.raises(ServiceClientError) as caught:
+                client._call("POST", "/_fault", {"disk_enospc": "yes"})
+            assert caught.value.status == 400
+            with pytest.raises(ServiceClientError) as caught:
+                client._call("POST", "/_fault", {"disk_bitflip": -3})
+            assert caught.value.status == 400

@@ -96,6 +96,7 @@ def shard_stats(shard, *, sessions, hits, misses, evictions, batches, widest, pe
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
+            "store_errors": 0,
         },
         "batching": {
             "batches_run": batches,
@@ -119,6 +120,7 @@ class TestAggregateShardStats:
         assert merged["unreported"] == 0
         assert merged["registry"] == {
             "sessions": 3, "hits": 14, "misses": 3, "evictions": 1,
+            "store_errors": 0,
         }
         assert merged["batching"]["batches_run"] == 11
         assert merged["batching"]["widest_batch"] == 6  # max, not sum

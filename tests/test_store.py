@@ -643,3 +643,104 @@ class TestWorkloadSpecAndCli:
         ]
         batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
         assert len(os.listdir(tmp_path)) == 2
+
+
+class TestDurabilityEnvelope:
+    """The v4 envelope: digests on every load, upgrades, temp hygiene."""
+
+    @pytest.fixture
+    def populated(self, tmp_path):
+        requests = fig2_requests()
+        baseline = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        return requests, baseline, entry_path(tmp_path), str(tmp_path)
+
+    def test_saved_entries_carry_version_and_digest(self, populated):
+        _, _, path, _ = populated
+        document = json.load(open(path))
+        from repro.engine import STORE_VERSION
+
+        assert document["version"] == STORE_VERSION
+        assert isinstance(document["digest"], str) and len(document["digest"]) == 64
+        assert document["words"] >= 1
+
+    def test_single_bitflip_sets_load_error_and_discards_rows(self, populated):
+        requests, baseline, path, cache_dir = populated
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 3] ^= 0x04
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        database, constraints = figure2_database()
+        from repro.engine.batch import group_seed_for
+
+        seed = group_seed_for(7, database, constraints, M_UR)
+        entry = CacheStore(cache_dir).entry(database, constraints, "M_ur", seed)
+        assert entry.load_error == "corrupt"
+        assert entry.sample_word_rows() == []
+        # And the batch path recomputes to the identical results.
+        damaged = batch_estimate(requests, seed=7, cache_dir=cache_dir)
+        assert [r.result for r in damaged] == [r.result for r in baseline]
+
+    def test_v3_entry_upgrades_warm_in_place(self, populated):
+        requests, baseline, path, cache_dir = populated
+        document = json.load(open(path))
+        document.pop("digest")
+        document.pop("words")
+        document["version"] = 3
+        json.dump(document, open(path, "w"))
+        database, constraints = figure2_database()
+        from repro.engine.batch import group_seed_for
+
+        seed = group_seed_for(7, database, constraints, M_UR)
+        entry = CacheStore(cache_dir).entry(database, constraints, "M_ur", seed)
+        # Warm (not a recompute): the digestless v3 rows loaded intact...
+        assert entry.load_error is None
+        assert entry.sample_word_rows() == document["samples"]
+        # ...and the upgrade is flushed to disk on the next save.
+        entry.save()
+        upgraded = json.load(open(path))
+        from repro.engine import STORE_VERSION
+
+        assert upgraded["version"] == STORE_VERSION and "digest" in upgraded
+        warm = batch_estimate(requests, seed=7, cache_dir=cache_dir)
+        assert [r.result for r in warm] == [r.result for r in baseline]
+
+    def test_stale_temp_files_are_swept_on_open(self, tmp_path):
+        stale = tmp_path / "stale-writer.tmp"
+        stale.write_text("torn write from a long-dead process")
+        os.utime(stale, (1, 1))  # backdate far past the grace period
+        fresh = tmp_path / "fresh-writer.tmp"
+        fresh.write_text("a writer might still be committing this")
+        store = CacheStore(str(tmp_path))
+        assert store.swept_temps == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_sweep_grace_period_is_configurable(self, tmp_path):
+        temp = tmp_path / "recent.tmp"
+        temp.write_text("x")
+        assert CacheStore(str(tmp_path)).swept_temps == 0
+        assert CacheStore(str(tmp_path), tmp_grace_seconds=0.0).swept_temps == 1
+        assert not temp.exists()
+
+    def test_unserializable_constants_raise_typed_error_from_save(self, tmp_path):
+        from repro.engine import CacheSerializationError
+
+        database, constraints = figure2_database()
+        entry = CacheStore(str(tmp_path)).entry(database, constraints, "M_ur", 7)
+        entry._document["bounds"]["bad"] = {1, 2, 3}  # a set is not JSON
+        entry._dirty = True
+        with pytest.raises(CacheSerializationError):
+            entry.save()
+
+    def test_absorbed_save_failures_are_accounted(self, tmp_path):
+        from repro.engine import fsfault
+        from repro.engine.fsfault import FaultPlan
+        from repro.engine.store import STORE_ERRORS
+
+        requests = fig2_requests()
+        before = STORE_ERRORS.total()
+        with fsfault.injected(FaultPlan(write_enospc=True, crash="raise")):
+            results = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
+        assert all(row.ok for row in results)  # absorbed, results intact
+        assert STORE_ERRORS.total() > before   # ... but *accounted*
+        snapshot = STORE_ERRORS.snapshot()
+        assert snapshot["errors"].get("save:enospc")

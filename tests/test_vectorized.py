@@ -28,6 +28,7 @@ from repro.counting.crs_count import (
 )
 from repro.engine import (
     DEFAULT_BATCH_SIZE,
+    STORE_VERSION,
     BatchRequest,
     EstimationSession,
     SamplePool,
@@ -401,7 +402,7 @@ class TestStoreV3:
         requests = fig2_requests()
         cold = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
         document, _ = self.entry_document(str(tmp_path))
-        assert document["version"] == 3
+        assert document["version"] == STORE_VERSION
         assert document["backend"] == "vector"
         assert document["batch"] == DEFAULT_BATCH_SIZE
         assert document["rng_state"] is None
@@ -462,7 +463,7 @@ class TestStoreV3:
         warm = batch_estimate(requests, seed=7, cache_dir=str(tmp_path))
         assert [r.result for r in warm] == [r.result for r in scalar]
         upgraded, _ = self.entry_document(str(tmp_path))
-        assert upgraded["version"] == 3
+        assert upgraded["version"] == STORE_VERSION
         assert upgraded["backend"] == "scalar"
         assert upgraded["samples"] == document["samples"]
         assert upgraded["rng_state"] is not None
