@@ -125,6 +125,13 @@ class FsOps:
     def replace(self, source: str, destination: str) -> None:
         os.replace(source, destination)
 
+    def unlink(self, path: str) -> None:
+        # Deliberately NOT a counted mutating op in :class:`FaultyOps`:
+        # unlinks happen only on failure-cleanup and temp-sweep paths,
+        # never in the commit sequence, so counting them would renumber
+        # every ``kill_at`` sweep for no extra crash coverage.
+        os.unlink(path)
+
     def read_bytes(self, path: str) -> bytes:
         with open(path, "rb") as handle:
             return handle.read()

@@ -545,7 +545,7 @@ class CacheEntry:
                 # (CrashPoint is a BaseException and deliberately skips
                 # this — a simulated crash must leave its wreckage.)
                 try:
-                    os.unlink(temp_path)
+                    ops.unlink(temp_path)
                 except OSError:
                     pass
                 raise
@@ -905,13 +905,15 @@ class CacheStore:
         if not names:
             return 0
         removed = 0
-        cutoff = time.time() - self.tmp_grace_seconds
+        # The grace cutoff compares against on-disk mtimes, which are
+        # wall-clock by nature; monotonic time has no relation to them.
+        cutoff = time.time() - self.tmp_grace_seconds  # repro-lint: disable=RL002
         with _directory_lock(self.directory):
             for name in names:
                 path = os.path.join(self.directory, name)
                 try:
                     if os.stat(path).st_mtime <= cutoff:
-                        os.unlink(path)
+                        _fsfault.active().unlink(path)
                         removed += 1
                 except OSError:
                     continue
@@ -1061,7 +1063,11 @@ def fsck_store(directory: str, *, repair: bool = False) -> FsckReport:
             report.orphan_temps += 1
             if repair:
                 try:
-                    os.unlink(path)
+                    # fsck repair stays off the shim on purpose: the
+                    # offline doctor must keep working under an armed
+                    # fault plan (reads go through it to *see* injected
+                    # damage; repairs must land regardless).
+                    os.unlink(path)  # repro-lint: disable=RL004
                     status = "removed-tmp"
                 except OSError as error:
                     detail = f"could not remove: {error}"
@@ -1087,7 +1093,9 @@ def fsck_store(directory: str, *, repair: bool = False) -> FsckReport:
         status = "damaged"
         if repair:
             try:
-                os.replace(path, path + ".quarantined")
+                # Off the shim for the same reason as the tmp removal
+                # above: quarantine must succeed under an armed plan.
+                os.replace(path, path + ".quarantined")  # repro-lint: disable=RL004
                 status = "quarantined"
                 report.quarantined += 1
             except OSError as error:

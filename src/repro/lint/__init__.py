@@ -1,0 +1,45 @@
+"""Contract-lint plane: static rules + runtime lock-order sanitizing.
+
+Two halves, one job — keeping the conventions the reproduction's
+guarantees rest on machine-checked:
+
+* :mod:`repro.lint.engine` / :mod:`repro.lint.rules` — the AST pass
+  behind ``python -m repro lint``: eight repo-specific rules (seed
+  discipline, wall-clock ban, CrashPoint-safe exception handling,
+  FsOps commit routing, metric-name suffixes, lock hygiene, export/doc
+  parity, explicit multiprocessing contexts) with per-line
+  ``# repro-lint: disable=RULE`` suppressions and text/JSON reporters.
+* :mod:`repro.lint.lockdep` — a kernel-lockdep-style runtime sanitizer
+  that records the per-thread lock-acquisition graph and reports
+  ordering cycles (potential AB/BA deadlocks) from single-threaded
+  test runs; wired into the concurrency test modules as a fixture.
+
+See ``docs/LINT.md`` for the rule catalog and suppression policy.
+"""
+
+from .engine import (
+    Finding,
+    LintContext,
+    Rule,
+    iter_python_files,
+    render_json,
+    render_text,
+    run_lint,
+)
+from .lockdep import LockDep, LockOrderViolation, TrackedLock, lockdep_guard
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "LockDep",
+    "LockOrderViolation",
+    "Rule",
+    "TrackedLock",
+    "iter_python_files",
+    "lockdep_guard",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

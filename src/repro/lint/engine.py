@@ -1,0 +1,297 @@
+"""AST rule framework behind ``python -m repro lint``.
+
+The repo's correctness story rests on conventions the test suite can
+only probe indirectly: seeds must be content-derived, ``CrashPoint``
+must sail through exception handlers, commit-path filesystem calls must
+route through the :class:`~repro.engine.fsfault.FsOps` shim, metric
+names carry load-bearing suffixes.  This module supplies the machinery
+that checks those conventions mechanically on every commit: a
+:class:`LintContext` wrapping one parsed module (parent links, import
+origins, suppression table), a :class:`Rule` base class, and
+:func:`run_lint` which walks a source tree and returns the surviving
+:class:`Finding` list.
+
+Suppressions are per-line comments::
+
+    value = time.time()  # repro-lint: disable=RL002 -- mtime comparison
+
+A suppression on a comment-only line applies to the following line as
+well, so long justifications can sit above the offending statement.
+Every suppression should carry a justification after the rule list —
+the lint pass does not parse it, reviewers do.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import pathlib
+import re
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "iter_python_files",
+    "run_lint",
+    "render_text",
+    "render_json",
+]
+
+#: ``# repro-lint: disable=RL001,RL006 -- justification`` — the captured
+#: group is the comma-joined rule list; everything after it is prose.
+_SUPPRESSION = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """The ``path:line: RULE: message`` text-reporter form."""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-reporter form (stable key order via dataclass fields)."""
+        return dataclasses.asdict(self)
+
+
+class LintContext:
+    """One parsed module plus the derived views every rule needs.
+
+    ``relpath`` is the POSIX-style path relative to the lint root —
+    rules that scope themselves to specific modules (``engine/store.py``
+    commit paths, the service-plane wall-clock allowlist) match on its
+    suffix so fixture trees laid out under ``tmp_path`` behave exactly
+    like the real package.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        relpath: str,
+        source: str,
+        api_doc_text: str | None = None,
+    ):
+        self.path = str(path)
+        self.relpath = relpath
+        self.source = source
+        self.api_doc_text = api_doc_text
+        self.tree = ast.parse(source, filename=self.path)
+        self.lines = source.splitlines()
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.suppressed = self._suppression_table()
+        self.origins = self._import_origins()
+
+    # -- structure -----------------------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node`` from innermost outward."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def statement_of(self, node: ast.AST) -> ast.stmt | None:
+        """The nearest enclosing statement (``node`` itself if one)."""
+        current: ast.AST | None = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = self._parents.get(current)
+        return current
+
+    def next_sibling(self, stmt: ast.stmt) -> ast.stmt | None:
+        """The statement following ``stmt`` in its enclosing block."""
+        parent = self._parents.get(stmt)
+        if parent is None:
+            return None
+        for field in ("body", "orelse", "finalbody", "handlers"):
+            block = getattr(parent, field, None)
+            if isinstance(block, list) and stmt in block:
+                index = block.index(stmt)
+                if index + 1 < len(block):
+                    following = block[index + 1]
+                    return following if isinstance(following, ast.stmt) else None
+                return None
+        return None
+
+    # -- name resolution -----------------------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a ``Name``/``Attribute`` chain, else ``None``.
+
+        Local aliases are unfolded through the module's imports:
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``, and
+        ``datetime.now`` to ``datetime.datetime.now`` under
+        ``from datetime import datetime``.  Relative imports keep their
+        leading dots; callers compare with :func:`str.lstrip`/suffixes.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.origins.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def _import_origins(self) -> dict[str, str]:
+        origins: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        origins[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        origins[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                module = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    origins[bound] = f"{module}.{alias.name}" if module else alias.name
+        return origins
+
+    # -- suppressions --------------------------------------------------------------------
+
+    def _suppression_table(self) -> dict[int, frozenset[str]]:
+        table: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESSION.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            table[lineno] = table.get(lineno, frozenset()) | rules
+            if text.lstrip().startswith("#"):
+                # A comment-only suppression covers the next line too.
+                table[lineno + 1] = table.get(lineno + 1, frozenset()) | rules
+        return table
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled on ``line`` (or via ``all``)."""
+        active = self.suppressed.get(line, frozenset())
+        return rule in active or "all" in active
+
+
+class Rule:
+    """Base class for one lint rule; subclasses set the class fields.
+
+    ``contract`` is the one-line statement of the repo invariant the
+    rule protects — it feeds ``--list-rules`` and ``docs/LINT.md``.
+    """
+
+    id: str = "RL000"
+    title: str = ""
+    contract: str = ""
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        """Yield findings for ``ctx``; suppression happens in the engine."""
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST | int, message: str) -> Finding:
+        """Build a finding anchored at ``node`` (an AST node or a line)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(rule=self.id, path=ctx.path, line=line, message=message)
+
+
+# -- driving -----------------------------------------------------------------------------
+
+
+def iter_python_files(root: pathlib.Path) -> Iterator[pathlib.Path]:
+    """All ``.py`` files under ``root`` (itself, if a file), sorted."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(
+        path
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+def _discover_api_doc(root: pathlib.Path) -> str | None:
+    """Walk upward from ``root`` looking for ``docs/API.md``."""
+    for base in [root, *root.parents]:
+        candidate = base / "docs" / "API.md"
+        if candidate.is_file():
+            return candidate.read_text(encoding="utf-8")
+    return None
+
+
+def run_lint(
+    paths: Sequence[str | pathlib.Path] | None = None,
+    rules: Sequence[Rule] | None = None,
+    api_doc_text: str | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over ``paths`` and return unsuppressed findings.
+
+    ``paths`` defaults to the installed ``repro`` package directory (the
+    tree the contracts govern); ``rules`` defaults to
+    :data:`repro.lint.rules.ALL_RULES`.  ``api_doc_text`` feeds the
+    export-parity rule and is auto-discovered (``docs/API.md`` above the
+    first root) when omitted.
+    """
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    roots = [pathlib.Path(p).resolve() for p in paths] if paths else [
+        pathlib.Path(__file__).resolve().parents[1]
+    ]
+    findings: list[Finding] = []
+    for root in roots:
+        base = root if root.is_dir() else root.parent
+        doc_text = api_doc_text
+        if doc_text is None:
+            doc_text = _discover_api_doc(base)
+        for path in iter_python_files(root):
+            source = path.read_text(encoding="utf-8")
+            try:
+                relative = path.relative_to(base)
+            except ValueError:
+                relative = pathlib.Path(path.name)
+            ctx = LintContext(
+                path=str(path),
+                relpath=relative.as_posix(),
+                source=source,
+                api_doc_text=doc_text,
+            )
+            for rule in rules:
+                for found in rule.check(ctx):
+                    if not ctx.is_suppressed(found.rule, found.line):
+                        findings.append(found)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one ``path:line: RULE: message`` per line."""
+    if not findings:
+        return "repro lint: clean"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"repro lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report for the CI gate."""
+    return json.dumps(
+        {"count": len(findings), "findings": [f.as_dict() for f in findings]},
+        indent=2,
+    )

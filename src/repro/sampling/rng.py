@@ -48,8 +48,14 @@ T = TypeVar("T")
 
 
 def resolve_rng(rng: random.Random | None) -> random.Random:
-    """The given generator, or a fresh unseeded one."""
-    return rng if rng is not None else random.Random()
+    """The given generator, or a fresh unseeded one.
+
+    The documented escape hatch from seed discipline: callers that
+    *choose* irreproducibility (``rng=None``) funnel through here, so
+    there is exactly one entropy-seeded construction site in the
+    package and everything else must thread a seed.
+    """
+    return rng if rng is not None else random.Random()  # repro-lint: disable=RL001
 
 
 class CumulativeWeights:

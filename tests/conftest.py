@@ -37,6 +37,25 @@ def rng():
     return random.Random(0xC0FFEE)
 
 
+@pytest.fixture(scope="module")
+def lockdep_state():
+    """Lock-order sanitizing for a whole test module.
+
+    Locks created while the module runs are tracked by
+    :mod:`repro.lint.lockdep`; teardown fails the module if the
+    recorded acquisition graph holds an ordering cycle (a potential
+    AB/BA deadlock, even if the fatal interleaving never ran).
+    Concurrency test modules opt in with a module-scoped autouse
+    fixture depending on this one (module scope also keeps hypothesis's
+    function-scoped-fixture health check quiet).
+    """
+    from repro.lint.lockdep import lockdep_guard
+
+    with lockdep_guard() as state:
+        yield state
+    state.assert_clean()
+
+
 @pytest.fixture
 def two_fact_conflict():
     """The intro's Emp example: two facts jointly violating a key."""

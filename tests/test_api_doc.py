@@ -14,6 +14,7 @@ import repro
 import repro.approx
 import repro.calibration
 import repro.engine
+import repro.lint
 import repro.service
 import repro.workloads
 
@@ -26,6 +27,7 @@ MODULES = [
     repro.workloads,
     repro.service,
     repro.calibration,
+    repro.lint,
 ]
 
 

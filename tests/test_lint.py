@@ -1,0 +1,600 @@
+"""The contract-lint plane: every rule fires, suppressions hold, repo is clean.
+
+Three layers:
+
+* per-rule fixtures — a minimal bad snippet each rule must flag, the
+  corresponding good snippet it must not, and a suppressed variant;
+* engine mechanics — suppression comment forms, import-origin
+  resolution, reporters, CLI wiring;
+* the self-check — ``python -m repro lint`` (via ``repro.cli.main``)
+  exits 0 on this repository, and the lockdep sanitizer detects a
+  synthetic AB/BA inversion between two threads.
+"""
+
+import json
+import textwrap
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    ALL_RULES,
+    LockOrderViolation,
+    lockdep_guard,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+RULE_IDS = [rule.id for rule in ALL_RULES]
+
+
+def lint(tmp_path, source, relpath="mod.py", rule=None, api_doc_text=""):
+    """Lint one dedented snippet placed at ``relpath`` under ``tmp_path``."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    rules = None
+    if rule is not None:
+        rules = [r for r in ALL_RULES if r.id == rule]
+        assert rules, f"unknown rule id {rule}"
+    return run_lint(paths=[tmp_path], rules=rules, api_doc_text=api_doc_text)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+# -- the rule catalog ----------------------------------------------------------------------
+
+
+def test_rule_catalog_is_complete():
+    assert RULE_IDS == [f"RL00{n}" for n in range(1, 9)]
+    for rule in ALL_RULES:
+        assert rule.title and rule.contract
+
+
+# -- RL001 seed discipline -----------------------------------------------------------------
+
+
+def test_rl001_unseeded_random(tmp_path):
+    findings = lint(tmp_path, """
+        import random
+        rng = random.Random()
+    """, rule="RL001")
+    assert rule_ids(findings) == ["RL001"]
+    assert "unseeded" in findings[0].message
+
+
+def test_rl001_unseeded_default_rng_via_alias(tmp_path):
+    findings = lint(tmp_path, """
+        import numpy as np
+        rng = np.random.default_rng()
+    """, rule="RL001")
+    assert rule_ids(findings) == ["RL001"]
+
+
+def test_rl001_global_seed(tmp_path):
+    findings = lint(tmp_path, """
+        import random
+        random.seed(7)
+    """, rule="RL001")
+    assert rule_ids(findings) == ["RL001"]
+    assert "random.seed" in findings[0].message
+
+
+def test_rl001_seeded_constructions_pass(tmp_path):
+    findings = lint(tmp_path, """
+        import random
+        import numpy as np
+        a = random.Random(7)
+        b = np.random.default_rng(123)
+        c = random.Random(seed)
+        rng.seed  # an attribute access, not the global seeder
+    """, rule="RL001")
+    assert findings == []
+
+
+def test_rl001_instance_seed_method_passes(tmp_path):
+    # Only the *module-level* random.seed is global state.
+    findings = lint(tmp_path, """
+        import random
+        rng = random.Random(7)
+        rng.seed(9)
+    """, rule="RL001")
+    assert findings == []
+
+
+def test_rl001_suppression(tmp_path):
+    findings = lint(tmp_path, """
+        import random
+        rng = random.Random()  # repro-lint: disable=RL001 -- entropy wanted here
+    """, rule="RL001")
+    assert findings == []
+
+
+# -- RL002 wall-clock ban ------------------------------------------------------------------
+
+
+def test_rl002_time_time(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+        now = time.time()
+    """, rule="RL002")
+    assert rule_ids(findings) == ["RL002"]
+
+
+def test_rl002_datetime_now_through_from_import(tmp_path):
+    findings = lint(tmp_path, """
+        from datetime import datetime
+        stamp = datetime.now()
+    """, rule="RL002")
+    assert rule_ids(findings) == ["RL002"]
+
+
+def test_rl002_monotonic_clocks_pass(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+        a = time.monotonic()
+        b = time.perf_counter()
+    """, rule="RL002")
+    assert findings == []
+
+
+def test_rl002_service_allowlist(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+        now = time.time()
+    """, relpath="service/server.py", rule="RL002")
+    assert findings == []
+
+
+# -- RL003 crash safety --------------------------------------------------------------------
+
+def test_rl003_broad_except_on_crash_path(tmp_path):
+    findings = lint(tmp_path, """
+        from repro.engine import fsfault
+        def load():
+            try:
+                return fsfault.active()
+            except Exception:
+                return None
+    """, rule="RL003")
+    assert rule_ids(findings) == ["RL003"]
+
+
+def test_rl003_bare_except_on_crash_path(tmp_path):
+    findings = lint(tmp_path, """
+        from repro.engine import fsfault
+        def load():
+            try:
+                return fsfault.active()
+            except:
+                return None
+    """, rule="RL003")
+    assert rule_ids(findings) == ["RL003"]
+    assert "bare except" in findings[0].message
+
+
+def test_rl003_base_exception_flagged_too(tmp_path):
+    findings = lint(tmp_path, """
+        from repro.engine import fsfault
+        def load():
+            try:
+                return fsfault.active()
+            except BaseException:
+                return None
+    """, rule="RL003")
+    assert rule_ids(findings) == ["RL003"]
+
+
+def test_rl003_reraising_handler_passes(tmp_path):
+    findings = lint(tmp_path, """
+        from repro.engine import fsfault
+        def save():
+            try:
+                fsfault.active()
+            except Exception:
+                cleanup()
+                raise
+    """, rule="RL003")
+    assert findings == []
+
+
+def test_rl003_narrow_handler_passes(tmp_path):
+    findings = lint(tmp_path, """
+        from repro.engine import fsfault
+        def load():
+            try:
+                return fsfault.active()
+            except (OSError, ValueError):
+                return None
+    """, rule="RL003")
+    assert findings == []
+
+
+def test_rl003_off_crash_path_is_out_of_scope(tmp_path):
+    findings = lint(tmp_path, """
+        def load():
+            try:
+                return 1
+            except Exception:
+                return None
+    """, rule="RL003")
+    assert findings == []
+
+
+def test_rl003_store_import_forms_are_in_scope(tmp_path):
+    for preamble in (
+        "from repro.engine.store import CacheStore\n",
+        "import repro.engine.store\n",
+        "from ..engine import CacheStore\n",
+    ):
+        findings = lint(tmp_path, preamble + textwrap.dedent("""
+            def f():
+                try:
+                    pass
+                except Exception:
+                    pass
+        """), rule="RL003")
+        assert rule_ids(findings) == ["RL003"], preamble
+
+
+# -- RL004 fs-commit discipline ------------------------------------------------------------
+
+
+def test_rl004_direct_os_calls_in_store(tmp_path):
+    findings = lint(tmp_path, """
+        import os
+        def save(a, b, p):
+            os.replace(a, b)
+            os.unlink(p)
+            open(p)
+    """, relpath="engine/store.py", rule="RL004")
+    assert rule_ids(findings) == ["RL004", "RL004", "RL004"]
+
+
+def test_rl004_shim_routed_calls_pass(tmp_path):
+    findings = lint(tmp_path, """
+        def save(ops, a, b, fd, data):
+            ops.write(fd, data)
+            ops.fsync(fd)
+            ops.replace(a, b)
+            ops.unlink(a)
+    """, relpath="engine/store.py", rule="RL004")
+    assert findings == []
+
+
+def test_rl004_scoped_to_store_module(tmp_path):
+    findings = lint(tmp_path, """
+        import os
+        os.replace("a", "b")
+    """, relpath="service/other.py", rule="RL004")
+    assert findings == []
+
+
+# -- RL005 metrics naming ------------------------------------------------------------------
+
+
+def test_rl005_counter_needs_total(tmp_path):
+    findings = lint(tmp_path, """
+        def build(metrics):
+            metrics.counter("repro_requests", "help")
+    """, rule="RL005")
+    assert rule_ids(findings) == ["RL005"]
+    assert "_total" in findings[0].message
+
+
+def test_rl005_histogram_needs_seconds(tmp_path):
+    findings = lint(tmp_path, """
+        def build(metrics):
+            metrics.histogram("repro_latency", "help", [0.1])
+    """, rule="RL005")
+    assert rule_ids(findings) == ["RL005"]
+
+
+def test_rl005_gauge_must_not_look_like_counter(tmp_path):
+    findings = lint(tmp_path, """
+        def build(metrics):
+            metrics.gauge("repro_sessions_total", "help")
+    """, rule="RL005")
+    assert rule_ids(findings) == ["RL005"]
+
+
+def test_rl005_conforming_names_pass(tmp_path):
+    findings = lint(tmp_path, """
+        def build(metrics):
+            metrics.counter("repro_requests_total", "help")
+            metrics.histogram("repro_latency_seconds", "help", [0.1])
+            metrics.gauge("repro_sessions", "help")
+    """, rule="RL005")
+    assert findings == []
+
+
+def test_rl005_constructors_from_metrics_module(tmp_path):
+    findings = lint(tmp_path, """
+        from repro.service.metrics import Counter
+        c = Counter("repro_requests", "help")
+    """, rule="RL005")
+    assert rule_ids(findings) == ["RL005"]
+
+
+def test_rl005_collections_counter_is_not_a_metric(tmp_path):
+    findings = lint(tmp_path, """
+        from collections import Counter
+        c = Counter("abc")
+    """, rule="RL005")
+    assert findings == []
+
+
+# -- RL006 lock hygiene --------------------------------------------------------------------
+
+
+def test_rl006_bare_acquire(tmp_path):
+    findings = lint(tmp_path, """
+        def f(lock):
+            lock.acquire()
+            work()
+            lock.release()
+    """, rule="RL006")
+    assert rule_ids(findings) == ["RL006"]
+
+
+def test_rl006_acquire_then_try_finally_passes(tmp_path):
+    findings = lint(tmp_path, """
+        def f(lock):
+            lock.acquire()
+            try:
+                work()
+            finally:
+                lock.release()
+    """, rule="RL006")
+    assert findings == []
+
+
+def test_rl006_acquire_inside_guarded_try_passes(tmp_path):
+    findings = lint(tmp_path, """
+        def f(lock):
+            try:
+                got = lock.acquire(timeout=1)
+                work()
+            finally:
+                lock.release()
+    """, rule="RL006")
+    assert findings == []
+
+
+def test_rl006_with_statement_passes(tmp_path):
+    findings = lint(tmp_path, """
+        def f(lock):
+            with lock:
+                work()
+    """, rule="RL006")
+    assert findings == []
+
+
+# -- RL007 export/doc parity ---------------------------------------------------------------
+
+
+def test_rl007_missing_export(tmp_path):
+    findings = lint(tmp_path, """
+        __all__ = ["documented", "missing"]
+    """, rule="RL007", api_doc_text="see `documented` for details")
+    assert rule_ids(findings) == ["RL007"]
+    assert "'missing'" in findings[0].message
+
+
+def test_rl007_all_documented_passes(tmp_path):
+    findings = lint(tmp_path, """
+        __all__ = ["alpha", "beta"]
+    """, rule="RL007", api_doc_text="`alpha` and `beta`")
+    assert findings == []
+
+
+def test_rl007_skips_without_api_doc(tmp_path):
+    findings = lint(tmp_path, """
+        __all__ = ["whatever"]
+    """, rule="RL007", api_doc_text=None)
+    # No docs/API.md above tmp_path: the rule stays silent rather than
+    # flagging every export of an undocumented tree.
+    assert findings == []
+
+
+# -- RL008 subprocess start method ---------------------------------------------------------
+
+
+def test_rl008_bare_pool(tmp_path):
+    findings = lint(tmp_path, """
+        import multiprocessing
+        pool = multiprocessing.Pool(4)
+    """, rule="RL008")
+    assert rule_ids(findings) == ["RL008"]
+
+
+def test_rl008_bare_process_from_import(tmp_path):
+    findings = lint(tmp_path, """
+        from multiprocessing import Process
+        worker = Process(target=print)
+    """, rule="RL008")
+    assert rule_ids(findings) == ["RL008"]
+
+
+def test_rl008_context_built_pool_passes(tmp_path):
+    findings = lint(tmp_path, """
+        import multiprocessing
+        context = multiprocessing.get_context("spawn")
+        pool = context.Pool(4)
+        worker = context.Process(target=print)
+    """, rule="RL008")
+    assert findings == []
+
+
+# -- engine mechanics ----------------------------------------------------------------------
+
+
+def test_suppression_on_comment_line_covers_next_line(tmp_path):
+    findings = lint(tmp_path, """
+        import random
+        # repro-lint: disable=RL001 -- justified above the statement
+        rng = random.Random()
+    """, rule="RL001")
+    assert findings == []
+
+
+def test_suppression_lists_multiple_rules(tmp_path):
+    findings = lint(tmp_path, """
+        import random, time
+        a = random.Random(); b = time.time()  # repro-lint: disable=RL001,RL002 -- x
+    """)
+    assert findings == []
+
+
+def test_suppression_all_wildcard(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+        now = time.time()  # repro-lint: disable=all -- fixture escape hatch
+    """, rule="RL002")
+    assert findings == []
+
+
+def test_suppression_does_not_leak_to_other_lines(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+        a = time.time()  # repro-lint: disable=RL002 -- this line only
+        b = time.time()
+    """, rule="RL002")
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_reporters(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+        now = time.time()
+    """, rule="RL002")
+    text = render_text(findings)
+    assert "RL002" in text and "mod.py:3" in text and "1 finding(s)" in text
+    document = json.loads(render_json(findings))
+    assert document["count"] == 1
+    assert document["findings"][0]["rule"] == "RL002"
+    assert render_text([]) == "repro lint: clean"
+
+
+def test_cli_lint_flags_and_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    assert "RL002" in capsys.readouterr().out
+    assert main(["lint", "--json", str(bad)]) == 1
+    assert json.loads(capsys.readouterr().out)["count"] == 1
+    assert main(["lint", "--rules", "RL001", str(bad)]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--rules", "RL999", str(bad)]) == 2
+    assert main(["lint", "--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in listing
+
+
+# -- the self-check ------------------------------------------------------------------------
+
+
+def test_repo_lints_clean():
+    """``python -m repro lint`` exits 0 on this repository."""
+    assert main(["lint"]) == 0
+
+
+def test_repo_lint_findings_list_is_empty():
+    assert run_lint() == []
+
+
+# -- lockdep -------------------------------------------------------------------------------
+
+
+def test_lockdep_detects_abba_between_two_threads():
+    """The synthetic AB/BA inversion: two threads, opposite orders.
+
+    The two halves run sequentially (no real deadlock risk) — lockdep's
+    point is exactly that the *potential* deadlock is detected from the
+    ordering graph without the fatal interleaving ever executing.
+    """
+    with lockdep_guard() as state:
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+
+        def a_then_b():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def b_then_a():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        first = threading.Thread(target=a_then_b)
+        first.start()
+        first.join()
+        second = threading.Thread(target=b_then_a)
+        second.start()
+        second.join()
+    assert state.violations, "AB/BA inversion went undetected"
+    assert "inversion" in state.violations[0]
+    with pytest.raises(LockOrderViolation):
+        state.assert_clean()
+
+
+def test_lockdep_consistent_order_is_clean():
+    with lockdep_guard() as state:
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+    state.assert_clean()
+
+
+def test_lockdep_rlock_reentrancy_is_not_an_inversion():
+    with lockdep_guard() as state:
+        lock = threading.RLock()
+        with lock:
+            with lock:
+                pass
+    state.assert_clean()
+
+
+def test_lockdep_three_lock_cycle():
+    # A -> B, B -> C, C -> A: no two-lock inversion, still a deadlock.
+    with lockdep_guard() as state:
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        lock_c = threading.Lock()
+        for first, second in ((lock_a, lock_b), (lock_b, lock_c), (lock_c, lock_a)):
+            with first:
+                with second:
+                    pass
+    assert state.violations
+
+
+def test_lockdep_guard_restores_factories():
+    original_lock, original_rlock = threading.Lock, threading.RLock
+    with lockdep_guard():
+        assert threading.Lock is not original_lock
+        inner = threading.Lock()
+        assert inner.acquire(False)
+        inner.release()
+        assert not inner.locked()
+    assert threading.Lock is original_lock
+    assert threading.RLock is original_rlock
+
+
+def test_lockdep_wrapper_supports_condition():
+    # Condition binds acquire/release off the wrapped lock; make sure
+    # the delegation surface is complete enough for real stdlib users.
+    with lockdep_guard() as state:
+        condition = threading.Condition(threading.Lock())
+        with condition:
+            condition.notify_all()
+    state.assert_clean()

@@ -30,6 +30,12 @@ from repro.workloads import figure2_database
 SEED = 7
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _lockdep(lockdep_state):
+    """Lock-order sanitizing across registry/batcher/metrics locks."""
+    return lockdep_state
+
+
 @pytest.fixture(scope="module")
 def fig2():
     database, constraints = figure2_database()

@@ -49,6 +49,12 @@ from test_service import EPSILON, DELTA, QUERY_TEXT, fig2_requests
 needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _lockdep(lockdep_state):
+    """Lock-order sanitizing across the sharded plane's router locks."""
+    return lockdep_state
+
+
 # -- placement -----------------------------------------------------------------------------
 
 

@@ -38,6 +38,12 @@ x, y = var("x"), var("y")
 EPSILON, DELTA = 0.5, 0.2
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _lockdep(lockdep_state):
+    """Lock-order sanitizing for the store's lock users (see conftest)."""
+    return lockdep_state
+
+
 def fig2_requests():
     database, constraints = figure2_database()
     query = cq((x,), (atom("R", x, y),))
